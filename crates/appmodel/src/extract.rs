@@ -1,0 +1,151 @@
+//! The "Soot step": application → function data-flow graph.
+
+use crate::{Application, FunctionId};
+use mec_graph::{Graph, GraphBuilder, NodeId};
+
+/// The function data-flow graph of an application, with the mappings
+/// the downstream pipeline needs.
+///
+/// All functions appear as nodes (including unoffloadable ones — the
+/// compression stage removes them; keeping them here lets callers
+/// account for their mandatory local cost). Mutual calls are folded
+/// into one undirected edge with summed data volume.
+#[derive(Debug, Clone)]
+pub struct ExtractedGraph {
+    /// The weighted undirected function data-flow graph (paper Fig. 1).
+    pub graph: Graph,
+    /// Component id of each graph node (indexed by node id) — the
+    /// boundary the compression stage splits on.
+    pub component_of: Vec<usize>,
+    /// Graph node of each application function, indexed by function id.
+    node_of: Vec<NodeId>,
+}
+
+impl ExtractedGraph {
+    /// Graph node corresponding to application function `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` does not belong to the extracted application.
+    #[inline]
+    pub fn node_of(&self, f: FunctionId) -> NodeId {
+        self.node_of[f.index()]
+    }
+
+    /// Application function corresponding to graph node `n` (the
+    /// extraction is a bijection: nodes are created in function order).
+    #[inline]
+    pub fn function_of(&self, n: NodeId) -> FunctionId {
+        debug_assert!(n.index() < self.node_of.len());
+        FunctionId::from_index(n.index())
+    }
+}
+
+impl Application {
+    /// Extracts the function data-flow graph (the paper's Soot step).
+    ///
+    /// Every function becomes a node carrying its computation weight
+    /// and offloadability; every call relationship contributes its data
+    /// volume to the undirected edge between caller and callee
+    /// (parallel calls sum).
+    pub fn extract(&self) -> ExtractedGraph {
+        let mut b = GraphBuilder::with_capacity(self.function_count(), self.call_count());
+        let mut node_of = Vec::with_capacity(self.function_count());
+        let mut component_of = Vec::with_capacity(self.function_count());
+        for (_, f) in self.functions() {
+            let node = b
+                .try_add_node(f.compute_weight, f.kind.is_offloadable())
+                .expect("application weights are validated");
+            node_of.push(node);
+            component_of.push(f.component.index());
+        }
+        for call in self.calls() {
+            b.add_edge(
+                node_of[call.caller.index()],
+                node_of[call.callee.index()],
+                call.data_volume,
+            )
+            .expect("call endpoints validated, parallel edges sum");
+        }
+        ExtractedGraph {
+            graph: b.build(),
+            component_of,
+            node_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ApplicationBuilder, FunctionKind};
+    use mec_graph::NodeId;
+
+    #[test]
+    fn figure1_example_extracts_correctly() {
+        // Fig. 1: f1 calls f2 (10) and f3 (8); f2 calls f4 (12), f5 (7).
+        let mut b = ApplicationBuilder::new("fig1");
+        let c = b.begin_component("main");
+        let f1 = b.add_function(c, "f1", 1.0, FunctionKind::Pure).unwrap();
+        let f2 = b.add_function(c, "f2", 1.0, FunctionKind::Pure).unwrap();
+        let f3 = b.add_function(c, "f3", 1.0, FunctionKind::Pure).unwrap();
+        let f4 = b.add_function(c, "f4", 1.0, FunctionKind::Pure).unwrap();
+        let f5 = b.add_function(c, "f5", 1.0, FunctionKind::Pure).unwrap();
+        b.add_call(f1, f2, 10.0).unwrap();
+        b.add_call(f1, f3, 8.0).unwrap();
+        b.add_call(f2, f4, 12.0).unwrap();
+        b.add_call(f2, f5, 7.0).unwrap();
+        let ex = b.build().extract();
+        assert_eq!(ex.graph.node_count(), 5);
+        assert_eq!(ex.graph.edge_count(), 4);
+        assert_eq!(ex.graph.total_edge_weight(), 37.0);
+        let n1 = ex.node_of(f1);
+        let n2 = ex.node_of(f2);
+        let e = ex.graph.edge_between(n1, n2).unwrap();
+        assert_eq!(ex.graph.edge_weight(e), 10.0);
+    }
+
+    #[test]
+    fn mutual_calls_fold_into_one_edge() {
+        let mut b = ApplicationBuilder::new("x");
+        let c = b.begin_component("c");
+        let f = b.add_function(c, "f", 1.0, FunctionKind::Pure).unwrap();
+        let g = b.add_function(c, "g", 1.0, FunctionKind::Pure).unwrap();
+        b.add_call(f, g, 3.0).unwrap();
+        b.add_call(g, f, 4.0).unwrap();
+        let ex = b.build().extract();
+        assert_eq!(ex.graph.edge_count(), 1);
+        assert_eq!(ex.graph.total_edge_weight(), 7.0);
+    }
+
+    #[test]
+    fn offloadability_and_components_carry_over() {
+        let mut b = ApplicationBuilder::new("x");
+        let c0 = b.begin_component("core");
+        let c1 = b.begin_component("io");
+        let f = b.add_function(c0, "f", 2.0, FunctionKind::Pure).unwrap();
+        let g = b.add_function(c1, "g", 3.0, FunctionKind::LocalIo).unwrap();
+        b.add_call(f, g, 1.0).unwrap();
+        let ex = b.build().extract();
+        assert!(ex.graph.is_offloadable(ex.node_of(f)));
+        assert!(!ex.graph.is_offloadable(ex.node_of(g)));
+        assert_eq!(ex.component_of, vec![0, 1]);
+        assert_eq!(ex.graph.node_weight(ex.node_of(g)), 3.0);
+    }
+
+    #[test]
+    fn node_function_mapping_is_bijective() {
+        let mut b = ApplicationBuilder::new("x");
+        let c = b.begin_component("c");
+        let ids: Vec<_> = (0..6)
+            .map(|i| {
+                b.add_function(c, format!("f{i}"), 1.0, FunctionKind::Pure)
+                    .unwrap()
+            })
+            .collect();
+        let ex = b.build().extract();
+        for (i, f) in ids.iter().enumerate() {
+            assert_eq!(ex.node_of(*f), NodeId::new(i));
+            assert_eq!(ex.function_of(NodeId::new(i)), *f);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Synthetic mobile-application model and function data-flow graph
+//! extraction — the workspace's stand-in for Soot.
+//!
+//! The paper derives each application's function data-flow graph from
+//! compiled bytecode with Soot (§II): functions become weighted nodes,
+//! calling relationships become weighted edges (Fig. 1), and functions
+//! that touch sensors or local I/O are excluded as *unoffloadable*.
+//! The offloading algorithms only ever see that graph, so this crate
+//! substitutes the bytecode analysis with an explicit application
+//! model:
+//!
+//! - [`Application`] — components containing [`Function`]s connected by
+//!   [`CallSite`]s carrying data volumes;
+//! - [`FunctionKind`] — why a function may be pinned to the device;
+//! - [`extract`](Application::extract) — the "Soot step": produces the
+//!   [`mec_graph::Graph`] plus the component assignment that the
+//!   compression stage splits on;
+//! - [`SyntheticAppSpec`] — seeded generators for realistic app shapes
+//!   (pipelines, event handlers, hot loops) used by examples and
+//!   benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use mec_app::{ApplicationBuilder, FunctionKind};
+//!
+//! # fn main() -> Result<(), mec_app::AppError> {
+//! let mut b = ApplicationBuilder::new("camera-app");
+//! let ui = b.begin_component("ui");
+//! let capture = b.add_function(ui, "capture", 2.0, FunctionKind::SensorRead)?;
+//! let encode = b.add_function(ui, "encode", 40.0, FunctionKind::Pure)?;
+//! b.add_call(capture, encode, 1024.0)?;
+//! let app = b.build();
+//!
+//! let extracted = app.extract();
+//! assert_eq!(extracted.graph.node_count(), 2);
+//! assert!(!extracted.graph.is_offloadable(extracted.node_of(capture)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod extract;
+mod model;
+mod spec;
+mod synth;
+
+pub use extract::ExtractedGraph;
+pub use model::{
+    AppError, Application, ApplicationBuilder, CallSite, ComponentId, Function, FunctionId,
+    FunctionKind,
+};
+pub use spec::SpecParseError;
+pub use synth::{CouplingProfile, SyntheticAppSpec};

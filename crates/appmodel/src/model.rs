@@ -1,0 +1,414 @@
+//! The application model: components, functions, call sites.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a function within an [`Application`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct FunctionId(u32);
+
+impl FunctionId {
+    /// Dense index of this function.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Crate-internal: mints an id from a dense index (extraction keeps
+    /// function ids equal to graph node indices).
+    #[inline]
+    pub(crate) fn from_index(i: usize) -> Self {
+        FunctionId(u32::try_from(i).expect("function index exceeds u32"))
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Identifier of a component within an [`Application`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// Dense index of this component.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Crate-internal raw constructor (components are dense ids).
+    #[inline]
+    pub(crate) fn from_index_impl(i: usize) -> Self {
+        ComponentId(u32::try_from(i).expect("component index exceeds u32"))
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Why a function can or cannot leave the device.
+///
+/// Anything other than [`Pure`](FunctionKind::Pure) pins the function:
+/// the paper's "unoffloaded functions" are those whose "execution
+/// highly depends on local data interaction like sensors' data reading,
+/// local I/O devices accessing" (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FunctionKind {
+    /// Pure computation over its inputs — freely offloadable.
+    #[default]
+    Pure,
+    /// Reads hardware sensors (camera, GPS, accelerometer).
+    SensorRead,
+    /// Accesses local storage or device I/O.
+    LocalIo,
+    /// Drives the user interface; must render on the device.
+    UserInterface,
+}
+
+impl FunctionKind {
+    /// `true` when functions of this kind may run on the edge server.
+    #[inline]
+    pub fn is_offloadable(self) -> bool {
+        matches!(self, FunctionKind::Pure)
+    }
+}
+
+/// One function of the application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Human-readable name (e.g. `"decode_frame"`).
+    pub name: String,
+    /// Computation amount (same unit as the MEC model's capacities).
+    pub compute_weight: f64,
+    /// Offloadability class.
+    pub kind: FunctionKind,
+    /// Owning component.
+    pub component: ComponentId,
+}
+
+/// A directed call with the volume of data it moves.
+///
+/// Extraction folds mutual calls into one undirected edge by summing
+/// volumes, exactly as the paper's Fig. 1 aggregates `|a|`, `|b|` …
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CallSite {
+    /// Calling function.
+    pub caller: FunctionId,
+    /// Called function.
+    pub callee: FunctionId,
+    /// Data exchanged by this call relationship.
+    pub data_volume: f64,
+}
+
+/// Errors raised while assembling an [`Application`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppError {
+    /// A call references a function that was never declared.
+    UnknownFunction(FunctionId),
+    /// A function was attached to an undeclared component.
+    UnknownComponent(ComponentId),
+    /// A function calls itself; self-communication is meaningless in
+    /// the data-flow graph.
+    SelfCall(FunctionId),
+    /// A negative or non-finite weight / volume was supplied.
+    InvalidWeight(f64),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::UnknownFunction(id) => write!(f, "unknown function {id}"),
+            AppError::UnknownComponent(id) => write!(f, "unknown component {id}"),
+            AppError::SelfCall(id) => write!(f, "function {id} cannot call itself"),
+            AppError::InvalidWeight(w) => write!(f, "invalid weight {w}"),
+        }
+    }
+}
+
+impl Error for AppError {}
+
+/// A mobile application: named components, functions, and calls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    name: String,
+    component_names: Vec<String>,
+    functions: Vec<Function>,
+    calls: Vec<CallSite>,
+}
+
+impl Application {
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of declared components.
+    pub fn component_count(&self) -> usize {
+        self.component_names.len()
+    }
+
+    /// Number of functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of call sites.
+    pub fn call_count(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Name of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn component_name(&self, c: ComponentId) -> &str {
+        &self.component_names[c.index()]
+    }
+
+    /// The function record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn function(&self, id: FunctionId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Iterates all functions with their ids.
+    pub fn functions(&self) -> impl ExactSizeIterator<Item = (FunctionId, &Function)> + '_ {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FunctionId(i as u32), f))
+    }
+
+    /// Iterates all call sites.
+    pub fn calls(&self) -> impl ExactSizeIterator<Item = &CallSite> + '_ {
+        self.calls.iter()
+    }
+
+    /// Functions that may not be offloaded.
+    pub fn pinned_functions(&self) -> impl Iterator<Item = FunctionId> + '_ {
+        self.functions().filter_map(|(id, f)| {
+            if f.kind.is_offloadable() {
+                None
+            } else {
+                Some(id)
+            }
+        })
+    }
+}
+
+/// Incremental builder for [`Application`].
+#[derive(Debug, Clone)]
+pub struct ApplicationBuilder {
+    name: String,
+    component_names: Vec<String>,
+    functions: Vec<Function>,
+    calls: Vec<CallSite>,
+}
+
+impl ApplicationBuilder {
+    /// Starts an application named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ApplicationBuilder {
+            name: name.into(),
+            component_names: Vec::new(),
+            functions: Vec::new(),
+            calls: Vec::new(),
+        }
+    }
+
+    /// Declares a component and returns its id.
+    pub fn begin_component(&mut self, name: impl Into<String>) -> ComponentId {
+        let id = ComponentId(
+            u32::try_from(self.component_names.len()).expect("component count exceeds u32"),
+        );
+        self.component_names.push(name.into());
+        id
+    }
+
+    /// Declares a function inside `component`.
+    ///
+    /// # Errors
+    ///
+    /// - [`AppError::UnknownComponent`] for an undeclared component;
+    /// - [`AppError::InvalidWeight`] for a negative or non-finite
+    ///   weight.
+    pub fn add_function(
+        &mut self,
+        component: ComponentId,
+        name: impl Into<String>,
+        compute_weight: f64,
+        kind: FunctionKind,
+    ) -> Result<FunctionId, AppError> {
+        if component.index() >= self.component_names.len() {
+            return Err(AppError::UnknownComponent(component));
+        }
+        if !compute_weight.is_finite() || compute_weight < 0.0 {
+            return Err(AppError::InvalidWeight(compute_weight));
+        }
+        let id = FunctionId(u32::try_from(self.functions.len()).expect("function count exceeds u32"));
+        self.functions.push(Function {
+            name: name.into(),
+            compute_weight,
+            kind,
+            component,
+        });
+        Ok(id)
+    }
+
+    /// Records that `caller` exchanges `data_volume` units of data with
+    /// `callee`.
+    ///
+    /// # Errors
+    ///
+    /// - [`AppError::UnknownFunction`] for undeclared endpoints;
+    /// - [`AppError::SelfCall`] when `caller == callee`;
+    /// - [`AppError::InvalidWeight`] for a negative or non-finite
+    ///   volume.
+    pub fn add_call(
+        &mut self,
+        caller: FunctionId,
+        callee: FunctionId,
+        data_volume: f64,
+    ) -> Result<(), AppError> {
+        if caller.index() >= self.functions.len() {
+            return Err(AppError::UnknownFunction(caller));
+        }
+        if callee.index() >= self.functions.len() {
+            return Err(AppError::UnknownFunction(callee));
+        }
+        if caller == callee {
+            return Err(AppError::SelfCall(caller));
+        }
+        if !data_volume.is_finite() || data_volume < 0.0 {
+            return Err(AppError::InvalidWeight(data_volume));
+        }
+        self.calls.push(CallSite {
+            caller,
+            callee,
+            data_volume,
+        });
+        Ok(())
+    }
+
+    /// Finalises the application.
+    pub fn build(self) -> Application {
+        Application {
+            name: self.name,
+            component_names: self.component_names,
+            functions: self.functions,
+            calls: self.calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Application {
+        let mut b = ApplicationBuilder::new("app");
+        let c0 = b.begin_component("core");
+        let c1 = b.begin_component("ui");
+        let f0 = b.add_function(c0, "main", 1.0, FunctionKind::Pure).unwrap();
+        let f1 = b.add_function(c0, "work", 10.0, FunctionKind::Pure).unwrap();
+        let f2 = b
+            .add_function(c1, "render", 3.0, FunctionKind::UserInterface)
+            .unwrap();
+        b.add_call(f0, f1, 5.0).unwrap();
+        b.add_call(f1, f2, 2.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts() {
+        let app = sample();
+        assert_eq!(app.name(), "app");
+        assert_eq!(app.component_count(), 2);
+        assert_eq!(app.function_count(), 3);
+        assert_eq!(app.call_count(), 2);
+        assert_eq!(app.component_name(ComponentId(1)), "ui");
+    }
+
+    #[test]
+    fn function_records_are_retrievable() {
+        let app = sample();
+        let f = app.function(FunctionId(1));
+        assert_eq!(f.name, "work");
+        assert_eq!(f.compute_weight, 10.0);
+        assert_eq!(f.component, ComponentId(0));
+    }
+
+    #[test]
+    fn pinned_functions_are_non_pure() {
+        let app = sample();
+        let pinned: Vec<_> = app.pinned_functions().collect();
+        assert_eq!(pinned, vec![FunctionId(2)]);
+        assert!(FunctionKind::Pure.is_offloadable());
+        assert!(!FunctionKind::SensorRead.is_offloadable());
+        assert!(!FunctionKind::LocalIo.is_offloadable());
+        assert!(!FunctionKind::UserInterface.is_offloadable());
+    }
+
+    #[test]
+    fn builder_validates_components_and_functions() {
+        let mut b = ApplicationBuilder::new("x");
+        assert_eq!(
+            b.add_function(ComponentId(0), "f", 1.0, FunctionKind::Pure),
+            Err(AppError::UnknownComponent(ComponentId(0)))
+        );
+        let c = b.begin_component("c");
+        assert_eq!(
+            b.add_function(c, "f", -1.0, FunctionKind::Pure),
+            Err(AppError::InvalidWeight(-1.0))
+        );
+        let f = b.add_function(c, "f", 1.0, FunctionKind::Pure).unwrap();
+        assert_eq!(b.add_call(f, f, 1.0), Err(AppError::SelfCall(f)));
+        assert_eq!(
+            b.add_call(f, FunctionId(9), 1.0),
+            Err(AppError::UnknownFunction(FunctionId(9)))
+        );
+        assert_eq!(b.add_call(f, f, f64::NAN), Err(AppError::SelfCall(f)));
+    }
+
+    #[test]
+    fn call_volume_validation() {
+        let mut b = ApplicationBuilder::new("x");
+        let c = b.begin_component("c");
+        let f = b.add_function(c, "f", 1.0, FunctionKind::Pure).unwrap();
+        let g = b.add_function(c, "g", 1.0, FunctionKind::Pure).unwrap();
+        assert_eq!(b.add_call(f, g, -3.0), Err(AppError::InvalidWeight(-3.0)));
+        assert!(b.add_call(f, g, 0.0).is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let app = sample();
+        let json = serde_json::to_string(&app).unwrap();
+        let back: Application = serde_json::from_str(&json).unwrap();
+        assert_eq!(app, back);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(FunctionId(3).to_string(), "f3");
+        assert_eq!(ComponentId(1).to_string(), "c1");
+        assert!(AppError::SelfCall(FunctionId(1)).to_string().contains("f1"));
+    }
+}

@@ -1,0 +1,324 @@
+//! A small text format for describing applications in files.
+//!
+//! Real adopters profile their app once and keep the result under
+//! version control; this format is that artefact. Line-based, `#`
+//! comments, whitespace-insensitive:
+//!
+//! ```text
+//! app camera-app
+//! component pipeline
+//!   fn capture 2.0 sensor
+//!   fn denoise 35 pure
+//! component ui
+//!   fn render 5 ui
+//! call capture -> denoise 120
+//! call denoise -> render 8
+//! ```
+//!
+//! Function kinds: `pure`, `sensor`, `io`, `ui`. Calls may appear after
+//! all declarations and reference functions by name (names must be
+//! unique app-wide).
+
+use crate::{AppError, Application, ApplicationBuilder, ComponentId, FunctionId, FunctionKind};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while parsing an application spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SpecParseError {}
+
+impl From<(usize, AppError)> for SpecParseError {
+    fn from((line, e): (usize, AppError)) -> Self {
+        SpecParseError {
+            line,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn parse_kind(s: &str) -> Option<FunctionKind> {
+    match s {
+        "pure" => Some(FunctionKind::Pure),
+        "sensor" => Some(FunctionKind::SensorRead),
+        "io" => Some(FunctionKind::LocalIo),
+        "ui" => Some(FunctionKind::UserInterface),
+        _ => None,
+    }
+}
+
+fn kind_token(k: FunctionKind) -> &'static str {
+    match k {
+        FunctionKind::Pure => "pure",
+        FunctionKind::SensorRead => "sensor",
+        FunctionKind::LocalIo => "io",
+        FunctionKind::UserInterface => "ui",
+    }
+}
+
+impl Application {
+    /// Parses an application from the text spec format.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecParseError`] pointing at the first malformed line:
+    /// unknown directive, duplicate or unknown function name, function
+    /// outside a component, malformed number, invalid call.
+    pub fn from_spec_str(input: &str) -> Result<Application, SpecParseError> {
+        let mut builder: Option<ApplicationBuilder> = None;
+        let mut current: Option<ComponentId> = None;
+        let mut by_name: HashMap<String, FunctionId> = HashMap::new();
+        let err = |line: usize, message: &str| SpecParseError {
+            line,
+            message: message.to_string(),
+        };
+
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens[0] {
+                "app" => {
+                    if builder.is_some() {
+                        return Err(err(line_no, "duplicate app directive"));
+                    }
+                    let name = tokens.get(1).ok_or_else(|| err(line_no, "app needs a name"))?;
+                    builder = Some(ApplicationBuilder::new(*name));
+                }
+                "component" => {
+                    let b = builder
+                        .as_mut()
+                        .ok_or_else(|| err(line_no, "component before app directive"))?;
+                    let name = tokens
+                        .get(1)
+                        .ok_or_else(|| err(line_no, "component needs a name"))?;
+                    current = Some(b.begin_component(*name));
+                }
+                "fn" => {
+                    let b = builder
+                        .as_mut()
+                        .ok_or_else(|| err(line_no, "fn before app directive"))?;
+                    let comp =
+                        current.ok_or_else(|| err(line_no, "fn outside of a component"))?;
+                    let [_, name, weight, kind] = tokens[..] else {
+                        return Err(err(line_no, "expected: fn <name> <weight> <kind>"));
+                    };
+                    if by_name.contains_key(name) {
+                        return Err(err(line_no, &format!("duplicate function name {name}")));
+                    }
+                    let w: f64 = weight
+                        .parse()
+                        .map_err(|_| err(line_no, &format!("bad weight {weight}")))?;
+                    let k = parse_kind(kind)
+                        .ok_or_else(|| err(line_no, &format!("unknown kind {kind}")))?;
+                    let id = b.add_function(comp, name, w, k).map_err(|e| (line_no, e))?;
+                    by_name.insert(name.to_string(), id);
+                }
+                "call" => {
+                    let b = builder
+                        .as_mut()
+                        .ok_or_else(|| err(line_no, "call before app directive"))?;
+                    let [_, caller, arrow, callee, volume] = tokens[..] else {
+                        return Err(err(line_no, "expected: call <caller> -> <callee> <volume>"));
+                    };
+                    if arrow != "->" {
+                        return Err(err(line_no, "expected '->' between caller and callee"));
+                    }
+                    let &from = by_name
+                        .get(caller)
+                        .ok_or_else(|| err(line_no, &format!("unknown function {caller}")))?;
+                    let &to = by_name
+                        .get(callee)
+                        .ok_or_else(|| err(line_no, &format!("unknown function {callee}")))?;
+                    let v: f64 = volume
+                        .parse()
+                        .map_err(|_| err(line_no, &format!("bad volume {volume}")))?;
+                    b.add_call(from, to, v).map_err(|e| (line_no, e))?;
+                }
+                other => return Err(err(line_no, &format!("unknown directive {other}"))),
+            }
+        }
+        builder
+            .map(ApplicationBuilder::build)
+            .ok_or_else(|| err(1, "empty spec: missing app directive"))
+    }
+
+    /// Renders the application back into the spec format. Parsing the
+    /// output reproduces the application exactly.
+    pub fn to_spec_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "app {}", self.name());
+        for c in 0..self.component_count() {
+            let cid = ComponentId::from_index(c);
+            let _ = writeln!(out, "component {}", self.component_name(cid));
+            for (_, f) in self.functions().filter(|(_, f)| f.component == cid) {
+                let _ = writeln!(
+                    out,
+                    "  fn {} {} {}",
+                    f.name,
+                    f.compute_weight,
+                    kind_token(f.kind)
+                );
+            }
+        }
+        for call in self.calls() {
+            let _ = writeln!(
+                out,
+                "call {} -> {} {}",
+                self.function(call.caller).name,
+                self.function(call.callee).name,
+                call.data_volume
+            );
+        }
+        out
+    }
+
+    /// Renders the application's call structure as Graphviz DOT;
+    /// unoffloadable functions are boxes, components are subgraph
+    /// clusters.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        for c in 0..self.component_count() {
+            let cid = ComponentId::from_index(c);
+            let _ = writeln!(out, "  subgraph cluster_{c} {{");
+            let _ = writeln!(out, "    label=\"{}\";", self.component_name(cid));
+            for (id, f) in self.functions().filter(|(_, f)| f.component == cid) {
+                let shape = if f.kind.is_offloadable() { "ellipse" } else { "box" };
+                let _ = writeln!(
+                    out,
+                    "    {} [label=\"{}:{:.1}\", shape={}];",
+                    id.index(),
+                    f.name,
+                    f.compute_weight,
+                    shape
+                );
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for call in self.calls() {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{:.1}\"];",
+                call.caller.index(),
+                call.callee.index(),
+                call.data_volume
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl ComponentId {
+    /// Crate-internal: mints an id from a dense index.
+    pub(crate) fn from_index(i: usize) -> Self {
+        // ComponentIds are dense, created in declaration order.
+        Self::from_index_impl(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny camera app
+app camera
+component pipeline
+  fn capture 2.0 sensor
+  fn detect 80 pure
+component ui
+  fn render 5 ui
+call capture -> detect 120
+call detect -> render 1.5
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let app = Application::from_spec_str(SAMPLE).unwrap();
+        assert_eq!(app.name(), "camera");
+        assert_eq!(app.component_count(), 2);
+        assert_eq!(app.function_count(), 3);
+        assert_eq!(app.call_count(), 2);
+        let ex = app.extract();
+        assert_eq!(ex.graph.node_count(), 3);
+        assert_eq!(ex.graph.total_edge_weight(), 121.5);
+        assert_eq!(app.pinned_functions().count(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_spec_format() {
+        let app = Application::from_spec_str(SAMPLE).unwrap();
+        let rendered = app.to_spec_string();
+        let back = Application::from_spec_str(&rendered).unwrap();
+        assert_eq!(app, back);
+    }
+
+    #[test]
+    fn synthetic_apps_round_trip_too() {
+        let app = crate::SyntheticAppSpec::new("synth", 2, 10).seed(4).build();
+        let back = Application::from_spec_str(&app.to_spec_string()).unwrap();
+        assert_eq!(app, back);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let bad = "app x\ncomponent c\n  fn a 1.0 pure\n  fn a 2.0 pure\n";
+        let e = Application::from_spec_str(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("duplicate"));
+
+        let e2 = Application::from_spec_str("component c\n").unwrap_err();
+        assert_eq!(e2.line, 1);
+        assert!(e2.to_string().contains("before app"));
+
+        let e3 = Application::from_spec_str("app x\ncall a -> b 1\n").unwrap_err();
+        assert_eq!(e3.line, 2);
+        assert!(e3.message.contains("unknown function"));
+
+        let e4 = Application::from_spec_str("app x\ncomponent c\n  fn f nope pure\n").unwrap_err();
+        assert!(e4.message.contains("bad weight"));
+
+        let e5 = Application::from_spec_str("").unwrap_err();
+        assert!(e5.message.contains("empty spec"));
+
+        let e6 = Application::from_spec_str("app x\nfrobnicate\n").unwrap_err();
+        assert!(e6.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec = "\n# comment\napp x # trailing\n\ncomponent c\n  fn f 1 pure # ok\n";
+        let app = Application::from_spec_str(spec).unwrap();
+        assert_eq!(app.function_count(), 1);
+    }
+
+    #[test]
+    fn dot_export_contains_clusters_and_calls() {
+        let app = Application::from_spec_str(SAMPLE).unwrap();
+        let dot = app.to_dot();
+        assert!(dot.contains("digraph \"camera\""));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("shape=box")); // pinned functions
+        assert!(dot.contains("->"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Seeded generators for realistic synthetic applications.
+//!
+//! The paper motivates offloading with apps like face recognition,
+//! games and email (§I) and distinguishes programs "with loosely
+//! coupled as well as highly coupled functions" (abstract). These
+//! generators produce [`Application`]s with those shapes so examples
+//! and benchmarks exercise both regimes.
+
+use crate::{Application, ApplicationBuilder, FunctionKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How tightly the generated functions communicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CouplingProfile {
+    /// Mostly light data exchange — partitions cut cheaply anywhere.
+    LooselyCoupled,
+    /// Mostly heavy data exchange — only a few cheap cuts exist, and
+    /// compression must fuse the hot pairs.
+    HighlyCoupled,
+    /// A bimodal mix of both (default).
+    #[default]
+    Mixed,
+}
+
+impl CouplingProfile {
+    /// Probability that a generated call carries a *large* volume.
+    fn heavy_probability(self) -> f64 {
+        match self {
+            CouplingProfile::LooselyCoupled => 0.05,
+            CouplingProfile::HighlyCoupled => 0.70,
+            CouplingProfile::Mixed => 0.30,
+        }
+    }
+}
+
+/// Specification of a synthetic application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticAppSpec {
+    name: String,
+    components: usize,
+    functions_per_component: usize,
+    profile: CouplingProfile,
+    pinned_fraction: f64,
+    extra_call_factor: f64,
+    compute_weight: (f64, f64),
+    small_volume: (f64, f64),
+    large_volume: (f64, f64),
+    seed: u64,
+}
+
+impl SyntheticAppSpec {
+    /// A spec with `components` components of `functions_per_component`
+    /// functions each, the [`CouplingProfile::Mixed`] profile, 10 %
+    /// pinned functions, computation weights 1–50, small volumes 1–8
+    /// and large volumes 40–120.
+    pub fn new(
+        name: impl Into<String>,
+        components: usize,
+        functions_per_component: usize,
+    ) -> Self {
+        SyntheticAppSpec {
+            name: name.into(),
+            components: components.max(1),
+            functions_per_component: functions_per_component.max(1),
+            profile: CouplingProfile::default(),
+            pinned_fraction: 0.10,
+            extra_call_factor: 1.5,
+            compute_weight: (1.0, 50.0),
+            small_volume: (1.0, 8.0),
+            large_volume: (40.0, 120.0),
+            seed: 0xAB5E,
+        }
+    }
+
+    /// Preset: a camera → detection pipeline with heavy frame traffic
+    /// (highly coupled; capture and preview pinned).
+    pub fn face_recognition() -> Self {
+        SyntheticAppSpec::new("face-recognition", 3, 18)
+            .profile(CouplingProfile::HighlyCoupled)
+            .pinned_fraction(0.15)
+            .compute_weight_range(10.0, 120.0)
+            .large_volume_range(80.0, 200.0)
+    }
+
+    /// Preset: an email client — many small handlers exchanging small
+    /// payloads (loosely coupled; storage/UI pinned).
+    pub fn email_client() -> Self {
+        SyntheticAppSpec::new("email-client", 6, 12)
+            .profile(CouplingProfile::LooselyCoupled)
+            .pinned_fraction(0.20)
+            .compute_weight_range(1.0, 20.0)
+    }
+
+    /// Preset: a mobile game — a hot physics/render core plus loose
+    /// periphery (mixed).
+    pub fn mobile_game() -> Self {
+        SyntheticAppSpec::new("mobile-game", 4, 16)
+            .profile(CouplingProfile::Mixed)
+            .pinned_fraction(0.12)
+            .compute_weight_range(5.0, 90.0)
+    }
+
+    /// Sets the coupling profile.
+    pub fn profile(mut self, profile: CouplingProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the fraction (0–1) of functions pinned to the device.
+    pub fn pinned_fraction(mut self, f: f64) -> Self {
+        self.pinned_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets how many extra (non-tree) calls to add per function.
+    pub fn extra_call_factor(mut self, f: f64) -> Self {
+        self.extra_call_factor = f.max(0.0);
+        self
+    }
+
+    /// Sets the computation weight range.
+    pub fn compute_weight_range(mut self, lo: f64, hi: f64) -> Self {
+        self.compute_weight = (lo, hi);
+        self
+    }
+
+    /// Sets the small (loose) data-volume range.
+    pub fn small_volume_range(mut self, lo: f64, hi: f64) -> Self {
+        self.small_volume = (lo, hi);
+        self
+    }
+
+    /// Sets the large (coupled) data-volume range.
+    pub fn large_volume_range(mut self, lo: f64, hi: f64) -> Self {
+        self.large_volume = (lo, hi);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total functions this spec will generate.
+    pub fn function_count(&self) -> usize {
+        self.components * self.functions_per_component
+    }
+
+    /// Generates the application (deterministic per spec + seed).
+    pub fn build(&self) -> Application {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut b = ApplicationBuilder::new(self.name.clone());
+        let heavy_p = self.profile.heavy_probability();
+        for ci in 0..self.components {
+            let comp = b.begin_component(format!("component{ci}"));
+            let mut ids = Vec::with_capacity(self.functions_per_component);
+            for fi in 0..self.functions_per_component {
+                let kind = if rng.gen_bool(self.pinned_fraction) {
+                    match rng.gen_range(0..3) {
+                        0 => FunctionKind::SensorRead,
+                        1 => FunctionKind::LocalIo,
+                        _ => FunctionKind::UserInterface,
+                    }
+                } else {
+                    FunctionKind::Pure
+                };
+                let w = sample(&mut rng, self.compute_weight);
+                let id = b
+                    .add_function(comp, format!("c{ci}_f{fi}"), w, kind)
+                    .expect("generated weights are valid");
+                ids.push(id);
+            }
+            // call tree keeps every component connected
+            for k in 1..ids.len() {
+                let parent = ids[rng.gen_range(0..k)];
+                let vol = self.sample_volume(&mut rng, heavy_p);
+                b.add_call(parent, ids[k], vol).expect("tree call is valid");
+            }
+            // extra calls thicken the topology
+            let extras =
+                (self.functions_per_component as f64 * self.extra_call_factor) as usize;
+            for _ in 0..extras {
+                let a = rng.gen_range(0..ids.len());
+                let c = rng.gen_range(0..ids.len());
+                if a == c {
+                    continue;
+                }
+                let vol = self.sample_volume(&mut rng, heavy_p);
+                b.add_call(ids[a], ids[c], vol).expect("extra call is valid");
+            }
+        }
+        b.build()
+    }
+
+    fn sample_volume(&self, rng: &mut ChaCha8Rng, heavy_p: f64) -> f64 {
+        if rng.gen_bool(heavy_p) {
+            sample(rng, self.large_volume)
+        } else {
+            sample(rng, self.small_volume)
+        }
+    }
+}
+
+fn sample(rng: &mut ChaCha8Rng, (lo, hi): (f64, f64)) -> f64 {
+    if hi > lo {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::ComponentLabeling;
+
+    #[test]
+    fn generates_requested_shape() {
+        let app = SyntheticAppSpec::new("t", 3, 10).seed(1).build();
+        assert_eq!(app.component_count(), 3);
+        assert_eq!(app.function_count(), 30);
+        assert!(app.call_count() >= 27); // at least the three call trees
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticAppSpec::new("t", 2, 8).seed(5).build();
+        let b = SyntheticAppSpec::new("t", 2, 8).seed(5).build();
+        let c = SyntheticAppSpec::new("t", 2, 8).seed(6).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn components_extract_as_connected_subgraphs() {
+        let app = SyntheticAppSpec::new("t", 4, 12).seed(2).build();
+        let ex = app.extract();
+        let labeling = ComponentLabeling::compute(&ex.graph);
+        // calls never cross components, so graph components == app components
+        assert_eq!(labeling.count(), 4);
+    }
+
+    #[test]
+    fn highly_coupled_has_heavier_edges_than_loose() {
+        let heavy = SyntheticAppSpec::new("h", 2, 20)
+            .profile(CouplingProfile::HighlyCoupled)
+            .seed(3)
+            .build()
+            .extract();
+        let light = SyntheticAppSpec::new("l", 2, 20)
+            .profile(CouplingProfile::LooselyCoupled)
+            .seed(3)
+            .build()
+            .extract();
+        let mean = |g: &mec_graph::Graph| g.total_edge_weight() / g.edge_count() as f64;
+        assert!(
+            mean(&heavy.graph) > 2.0 * mean(&light.graph),
+            "heavy {} vs light {}",
+            mean(&heavy.graph),
+            mean(&light.graph)
+        );
+    }
+
+    #[test]
+    fn pinned_fraction_zero_means_all_offloadable() {
+        let app = SyntheticAppSpec::new("t", 2, 10)
+            .pinned_fraction(0.0)
+            .seed(4)
+            .build();
+        assert_eq!(app.pinned_functions().count(), 0);
+    }
+
+    #[test]
+    fn presets_build() {
+        for app in [
+            SyntheticAppSpec::face_recognition().build(),
+            SyntheticAppSpec::email_client().build(),
+            SyntheticAppSpec::mobile_game().build(),
+        ] {
+            assert!(app.function_count() > 0);
+            let ex = app.extract();
+            assert_eq!(ex.graph.check_invariants(), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the application model: extraction preserves
+//! totals, the spec format round-trips, generators honour their specs.
+
+use mec_app::{Application, CouplingProfile, SyntheticAppSpec};
+use proptest::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = Application> {
+    (
+        1usize..5,
+        2usize..20,
+        prop_oneof![
+            Just(CouplingProfile::LooselyCoupled),
+            Just(CouplingProfile::HighlyCoupled),
+            Just(CouplingProfile::Mixed),
+        ],
+        0.0f64..0.5,
+        0u64..500,
+    )
+        .prop_map(|(comps, fns, profile, pinned, seed)| {
+            SyntheticAppSpec::new("prop", comps, fns)
+                .profile(profile)
+                .pinned_fraction(pinned)
+                .seed(seed)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn extraction_preserves_compute_weight(app in arb_app()) {
+        let total_app: f64 = app.functions().map(|(_, f)| f.compute_weight).sum();
+        let ex = app.extract();
+        prop_assert!((ex.graph.total_node_weight() - total_app).abs() < 1e-9);
+        prop_assert_eq!(ex.graph.node_count(), app.function_count());
+        prop_assert_eq!(ex.graph.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn extraction_preserves_communication_volume(app in arb_app()) {
+        let total_calls: f64 = app.calls().map(|c| c.data_volume).sum();
+        let ex = app.extract();
+        // undirected folding sums parallel calls, so totals match exactly
+        prop_assert!((ex.graph.total_edge_weight() - total_calls).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinned_functions_extract_as_unoffloadable(app in arb_app()) {
+        let ex = app.extract();
+        for (id, f) in app.functions() {
+            prop_assert_eq!(
+                ex.graph.is_offloadable(ex.node_of(id)),
+                f.kind.is_offloadable()
+            );
+        }
+    }
+
+    #[test]
+    fn components_never_mix(app in arb_app()) {
+        let ex = app.extract();
+        for call in app.calls() {
+            let ca = app.function(call.caller).component;
+            let cb = app.function(call.callee).component;
+            prop_assert_eq!(ca, cb, "synthetic calls stay within a component");
+        }
+        // component_of agrees with the app's records
+        for (id, f) in app.functions() {
+            prop_assert_eq!(ex.component_of[ex.node_of(id).index()], f.component.index());
+        }
+    }
+
+    #[test]
+    fn spec_format_round_trips(app in arb_app()) {
+        let text = app.to_spec_string();
+        let back = Application::from_spec_str(&text).unwrap();
+        prop_assert_eq!(app, back);
+    }
+
+    #[test]
+    fn json_round_trips(app in arb_app()) {
+        let json = serde_json::to_string(&app).unwrap();
+        let back: Application = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(app, back);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_function(app in arb_app()) {
+        let dot = app.to_dot();
+        for (_, f) in app.functions() {
+            prop_assert!(dot.contains(&f.name), "missing {} in dot", f.name);
+        }
+    }
+}

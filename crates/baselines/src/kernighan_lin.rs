@@ -1,0 +1,261 @@
+//! The Kernighan–Lin bipartitioning heuristic.
+//!
+//! The paper's second comparison algorithm (§IV): starting from a
+//! balanced bipartition, KL computes for every node the *D-value*
+//! (external minus internal coupling), greedily selects node swaps by
+//! gain, and commits the best prefix of the swap sequence; passes
+//! repeat until no positive-gain prefix exists.
+
+use crate::BaselineError;
+use mec_graph::{Bipartition, Graph, NodeId, Side};
+
+/// Kernighan–Lin graph bipartitioner.
+#[derive(Debug, Clone)]
+pub struct KernighanLin {
+    max_passes: usize,
+}
+
+impl Default for KernighanLin {
+    fn default() -> Self {
+        KernighanLin { max_passes: 20 }
+    }
+}
+
+impl KernighanLin {
+    /// A partitioner with the default pass cap (20).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of improvement passes (at least 1).
+    pub fn max_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes.max(1);
+        self
+    }
+
+    /// Bipartitions `g`, starting from the index-balanced split (first
+    /// half local, second half remote) and refining with KL passes.
+    ///
+    /// # Errors
+    ///
+    /// - [`BaselineError::EmptyGraph`] for an empty graph;
+    /// - [`BaselineError::TooFewNodes`] for a single-node graph.
+    pub fn bisect(&self, g: &Graph) -> Result<Bipartition, BaselineError> {
+        let n = g.node_count();
+        if n == 0 {
+            return Err(BaselineError::EmptyGraph);
+        }
+        if n < 2 {
+            return Err(BaselineError::TooFewNodes { nodes: n });
+        }
+        let initial = Bipartition::from_fn(n, |i| {
+            if i < n / 2 {
+                Side::Local
+            } else {
+                Side::Remote
+            }
+        });
+        Ok(self.refine(g, initial))
+    }
+
+    /// Refines an existing bipartition with KL passes (exposed so the
+    /// pipeline can post-process cuts produced by other strategies).
+    pub fn refine(&self, g: &Graph, mut partition: Bipartition) -> Bipartition {
+        for _ in 0..self.max_passes {
+            let gain = self.one_pass(g, &mut partition);
+            if gain <= 1e-12 {
+                break;
+            }
+        }
+        partition
+    }
+
+    /// One KL pass. Returns the committed gain (0 when no improving
+    /// prefix was found; the partition is then unchanged).
+    fn one_pass(&self, g: &Graph, partition: &mut Bipartition) -> f64 {
+        let n = g.node_count();
+        // D[v] = external - internal coupling of v under `partition`
+        let mut d = vec![0.0f64; n];
+        for e in g.edges() {
+            let (a, b) = (e.source.index(), e.target.index());
+            if partition.as_slice()[a] == partition.as_slice()[b] {
+                d[a] -= e.weight;
+                d[b] -= e.weight;
+            } else {
+                d[a] += e.weight;
+                d[b] += e.weight;
+            }
+        }
+        let mut locked = vec![false; n];
+        let mut sides: Vec<Side> = partition.as_slice().to_vec();
+        let mut swaps: Vec<(usize, usize, f64)> = Vec::new();
+        let pair_budget = partition
+            .count_on(Side::Local)
+            .min(partition.count_on(Side::Remote));
+        for _ in 0..pair_budget {
+            // best unlocked pair (a local, b remote) maximising
+            // gain = D[a] + D[b] - 2 w(a,b)
+            let mut best: Option<(usize, usize, f64)> = None;
+            for a in 0..n {
+                if locked[a] || sides[a] != Side::Local {
+                    continue;
+                }
+                for b in 0..n {
+                    if locked[b] || sides[b] != Side::Remote {
+                        continue;
+                    }
+                    let w_ab = g
+                        .edge_between(NodeId::new(a), NodeId::new(b))
+                        .map_or(0.0, |e| g.edge_weight(e));
+                    let gain = d[a] + d[b] - 2.0 * w_ab;
+                    let better = match best {
+                        None => true,
+                        Some((.., bg)) => gain > bg,
+                    };
+                    if better {
+                        best = Some((a, b, gain));
+                    }
+                }
+            }
+            let Some((a, b, gain)) = best else { break };
+            // tentatively swap, lock, update D-values
+            locked[a] = true;
+            locked[b] = true;
+            sides[a] = Side::Remote;
+            sides[b] = Side::Local;
+            swaps.push((a, b, gain));
+            for (x, flip_partner) in [(a, b), (b, a)] {
+                for nb in g.neighbors(NodeId::new(x)) {
+                    let v = nb.node.index();
+                    if locked[v] {
+                        continue;
+                    }
+                    let w = g.edge_weight(nb.edge);
+                    // x moved across: edges to x change external/internal
+                    // status for v. If v is now on x's new side, the edge
+                    // became internal (D decreases), else external.
+                    let x_new_side = sides[x];
+                    if sides[v] == x_new_side {
+                        d[v] -= 2.0 * w;
+                    } else {
+                        d[v] += 2.0 * w;
+                    }
+                    let _ = flip_partner;
+                }
+            }
+        }
+        // best prefix of cumulative gains
+        let mut best_prefix = 0usize;
+        let mut best_sum = 0.0f64;
+        let mut run = 0.0f64;
+        for (k, &(_, _, gain)) in swaps.iter().enumerate() {
+            run += gain;
+            if run > best_sum + 1e-12 {
+                best_sum = run;
+                best_prefix = k + 1;
+            }
+        }
+        for &(a, b, _) in swaps.iter().take(best_prefix) {
+            partition.assign(NodeId::new(a), Side::Remote);
+            partition.assign(NodeId::new(b), Side::Local);
+        }
+        best_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::GraphBuilder;
+    use mec_netgen::NetgenSpec;
+
+    /// Graph where the index-balanced start is maximally wrong: nodes
+    /// {0,2} are tightly coupled, {1,3} are tightly coupled, the cross
+    /// edges are light.
+    fn interleaved() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[2], 10.0).unwrap();
+        b.add_edge(n[1], n[3], 10.0).unwrap();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[2], n[3], 1.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn fixes_bad_initial_partition() {
+        let g = interleaved();
+        // initial split {0,1} | {2,3} cuts both heavy edges: weight 20
+        let p = KernighanLin::new().bisect(&g).unwrap();
+        assert!((p.cut_weight(&g) - 2.0).abs() < 1e-12);
+        assert_eq!(p.count_on(Side::Local), 2);
+    }
+
+    #[test]
+    fn preserves_balance() {
+        let g = NetgenSpec::new(40, 120).components(1).seed(5).generate().unwrap();
+        let p = KernighanLin::new().bisect(&g).unwrap();
+        assert_eq!(p.count_on(Side::Local), 20);
+        assert_eq!(p.count_on(Side::Remote), 20);
+    }
+
+    #[test]
+    fn never_worse_than_initial_cut() {
+        for seed in 0..5 {
+            let g = NetgenSpec::new(30, 90).components(1).seed(seed).generate().unwrap();
+            let n = g.node_count();
+            let initial = Bipartition::from_fn(n, |i| {
+                if i < n / 2 {
+                    Side::Local
+                } else {
+                    Side::Remote
+                }
+            });
+            let refined = KernighanLin::new().refine(&g, initial.clone());
+            assert!(
+                refined.cut_weight(&g) <= initial.cut_weight(&g) + 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn refine_is_idempotent_at_fixed_point() {
+        let g = interleaved();
+        let p1 = KernighanLin::new().bisect(&g).unwrap();
+        let p2 = KernighanLin::new().refine(&g, p1.clone());
+        assert_eq!(p1.cut_weight(&g), p2.cut_weight(&g));
+    }
+
+    #[test]
+    fn two_node_graph() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(1.0);
+        let y = b.add_node(1.0);
+        b.add_edge(x, y, 2.0).unwrap();
+        let p = KernighanLin::new().bisect(&b.build()).unwrap();
+        assert!(p.is_proper());
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert_eq!(
+            KernighanLin::new().bisect(&GraphBuilder::new().build()).unwrap_err(),
+            BaselineError::EmptyGraph
+        );
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        assert_eq!(
+            KernighanLin::new().bisect(&b.build()).unwrap_err(),
+            BaselineError::TooFewNodes { nodes: 1 }
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = NetgenSpec::new(24, 60).components(1).seed(3).generate().unwrap();
+        let a = KernighanLin::new().bisect(&g).unwrap();
+        let b = KernighanLin::new().bisect(&g).unwrap();
+        assert_eq!(a, b);
+    }
+}

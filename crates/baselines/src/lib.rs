@@ -1,0 +1,86 @@
+//! Baseline graph bipartitioners the paper compares against (§IV):
+//!
+//! - [`MaxFlowBisector`] — Ford–Fulkerson-family minimum cut via the
+//!   Edmonds–Karp max-flow algorithm ([`edmonds_karp`]), with endpoint
+//!   selection heuristics for turning the *s–t* cut into a graph
+//!   bipartition;
+//! - [`KernighanLin`] — the Kernighan–Lin swap heuristic;
+//! - [`stoer_wagner`] — the exact global minimum cut, not part of the
+//!   paper's comparison but used here as ground truth in tests and
+//!   ablations;
+//! - [`MultilevelBisector`] — a METIS-style coarsen–partition–refine
+//!   scheme implementing the paper's stated future work (reducing the
+//!   algorithm's computational complexity).
+//!
+//! All three produce [`mec_graph::Bipartition`]s, so they plug into the
+//! same offloading pipeline as the spectral method.
+//!
+//! # Example
+//!
+//! ```
+//! use mec_baselines::{KernighanLin, MaxFlowBisector, stoer_wagner};
+//! use mec_graph::GraphBuilder;
+//!
+//! # fn main() -> Result<(), mec_baselines::BaselineError> {
+//! let mut b = GraphBuilder::new();
+//! let n: Vec<_> = (0..4).map(|_| b.add_node(1.0)).collect();
+//! b.add_edge(n[0], n[1], 9.0).unwrap();
+//! b.add_edge(n[2], n[3], 9.0).unwrap();
+//! b.add_edge(n[1], n[2], 1.0).unwrap();
+//! let g = b.build();
+//!
+//! let exact = stoer_wagner(&g)?;
+//! assert_eq!(exact.cut_weight, 1.0);
+//! let kl = KernighanLin::new().bisect(&g)?;
+//! let mf = MaxFlowBisector::new().bisect(&g)?;
+//! assert!(kl.cut_weight(&g) >= exact.cut_weight);
+//! assert!(mf.cut_weight(&g) >= exact.cut_weight);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernighan_lin;
+mod maxflow;
+mod multilevel;
+mod stoer_wagner;
+
+pub use kernighan_lin::KernighanLin;
+pub use multilevel::MultilevelBisector;
+pub use maxflow::{edmonds_karp, MaxFlowBisector, MaxFlowResult, TrialSelection};
+pub use stoer_wagner::{stoer_wagner, GlobalMinCut};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the baseline partitioners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// A bipartition needs at least two nodes.
+    TooFewNodes {
+        /// Nodes available.
+        nodes: usize,
+    },
+    /// Source and sink of a max-flow query must differ.
+    IdenticalTerminals,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::EmptyGraph => f.write_str("cannot partition an empty graph"),
+            BaselineError::TooFewNodes { nodes } => {
+                write!(f, "bipartition needs at least 2 nodes, got {nodes}")
+            }
+            BaselineError::IdenticalTerminals => {
+                f.write_str("source and sink must be different nodes")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}

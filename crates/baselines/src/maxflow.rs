@@ -1,0 +1,370 @@
+//! Edmonds–Karp maximum flow / minimum s–t cut.
+//!
+//! The paper's first comparison algorithm: "Ford-fulkerson algorithm
+//! which is used to solve maximum flow finding from source node s to
+//! target or sink node t … a specialized Ford-Fulkerson algorithm, also
+//! called as Edmond-Karp algorithm guarantees to find maximum flow in
+//! limited number of iterations" (§IV). An undirected edge of weight
+//! `w` becomes a pair of directed arcs of capacity `w`; after the last
+//! augmentation the nodes reachable from `s` in the residual network
+//! form the minimum-cut side.
+
+use crate::BaselineError;
+use mec_graph::{Bipartition, Graph, NodeId, Side};
+use std::collections::VecDeque;
+
+/// Result of a max-flow computation between two terminals.
+#[derive(Debug, Clone)]
+pub struct MaxFlowResult {
+    /// Value of the maximum flow (= weight of the minimum s–t cut).
+    pub flow_value: f64,
+    /// Bipartition induced by the final residual network: nodes
+    /// reachable from `s` are [`Side::Local`], the rest
+    /// [`Side::Remote`].
+    pub partition: Bipartition,
+}
+
+/// Residual network: paired arcs, `arc ^ 1` is the reverse arc.
+struct Residual {
+    /// Per-node outgoing arc indices.
+    head: Vec<Vec<u32>>,
+    /// Arc target node.
+    to: Vec<u32>,
+    /// Remaining capacity.
+    cap: Vec<f64>,
+}
+
+impl Residual {
+    fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut head = vec![Vec::new(); n];
+        let m = g.edge_count();
+        let mut to = Vec::with_capacity(4 * m);
+        let mut cap = Vec::with_capacity(4 * m);
+        for e in g.edges() {
+            let (a, b) = (e.source.index(), e.target.index());
+            // undirected edge → both directions at full capacity; each
+            // direction still gets its paired reverse arc so the
+            // algorithm stays a plain directed max-flow.
+            for (u, v) in [(a, b), (b, a)] {
+                head[u].push(to.len() as u32);
+                to.push(v as u32);
+                cap.push(e.weight);
+                head[v].push(to.len() as u32);
+                to.push(u as u32);
+                cap.push(0.0);
+            }
+        }
+        Residual { head, to, cap }
+    }
+
+    /// BFS for a shortest augmenting path; returns per-node incoming
+    /// arc, or `None` when `t` is unreachable.
+    fn bfs(&self, s: usize, t: usize) -> Option<Vec<u32>> {
+        const NONE: u32 = u32::MAX;
+        let mut pred = vec![NONE; self.head.len()];
+        let mut seen = vec![false; self.head.len()];
+        seen[s] = true;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.head[u] {
+                let v = self.to[a as usize] as usize;
+                if !seen[v] && self.cap[a as usize] > 1e-12 {
+                    seen[v] = true;
+                    pred[v] = a;
+                    if v == t {
+                        return Some(pred);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    fn reachable_from(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.head.len()];
+        seen[s] = true;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.head[u] {
+                let v = self.to[a as usize] as usize;
+                if !seen[v] && self.cap[a as usize] > 1e-12 {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Computes the maximum flow (and minimum cut) from `s` to `t` with
+/// Edmonds–Karp (BFS augmenting paths).
+///
+/// # Errors
+///
+/// - [`BaselineError::EmptyGraph`] on an empty graph;
+/// - [`BaselineError::IdenticalTerminals`] when `s == t`.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of bounds.
+pub fn edmonds_karp(g: &Graph, s: NodeId, t: NodeId) -> Result<MaxFlowResult, BaselineError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(BaselineError::EmptyGraph);
+    }
+    assert!(s.index() < n && t.index() < n, "terminal out of bounds");
+    if s == t {
+        return Err(BaselineError::IdenticalTerminals);
+    }
+    let mut r = Residual::from_graph(g);
+    let mut flow = 0.0f64;
+    while let Some(pred) = r.bfs(s.index(), t.index()) {
+        // bottleneck along the path
+        let mut bottleneck = f64::INFINITY;
+        let mut v = t.index();
+        while v != s.index() {
+            let a = pred[v] as usize;
+            bottleneck = bottleneck.min(r.cap[a]);
+            v = r.to[a ^ 1] as usize;
+        }
+        // apply
+        let mut v = t.index();
+        while v != s.index() {
+            let a = pred[v] as usize;
+            r.cap[a] -= bottleneck;
+            r.cap[a ^ 1] += bottleneck;
+            v = r.to[a ^ 1] as usize;
+        }
+        flow += bottleneck;
+    }
+    let reach = r.reachable_from(s.index());
+    let partition = Bipartition::from_fn(n, |i| if reach[i] { Side::Local } else { Side::Remote });
+    Ok(MaxFlowResult {
+        flow_value: flow,
+        partition,
+    })
+}
+
+/// How a multi-trial bisection picks among the candidate s–t cuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrialSelection {
+    /// Keep the lightest cut (pure minimum-cut semantics; default).
+    /// s–t minimum cuts tend to peel single nodes under this rule.
+    #[default]
+    MinWeight,
+    /// Keep the cut with the best ratio score `weight / (|A| · |B|)` —
+    /// trades a little weight for a usable bipartition.
+    MinRatio,
+}
+
+/// Graph bipartitioner built on repeated s–t minimum cuts.
+///
+/// A global bipartition has no designated terminals, so the bisector
+/// fixes `s` at the node with the largest weighted degree (the hub the
+/// paper's propagation also starts from) and tries the `trials`
+/// BFS-farthest candidates as `t`, keeping the best cut under the
+/// configured [`TrialSelection`].
+#[derive(Debug, Clone)]
+pub struct MaxFlowBisector {
+    trials: usize,
+    selection: TrialSelection,
+}
+
+impl Default for MaxFlowBisector {
+    fn default() -> Self {
+        MaxFlowBisector {
+            trials: 3,
+            selection: TrialSelection::default(),
+        }
+    }
+}
+
+impl MaxFlowBisector {
+    /// A bisector with the default 3 sink candidates and
+    /// [`TrialSelection::MinWeight`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets how many sink candidates to try (at least 1).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Sets how the winning trial is chosen.
+    pub fn selection(mut self, selection: TrialSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Bipartitions `g` by the lightest of the trialled s–t cuts.
+    ///
+    /// # Errors
+    ///
+    /// - [`BaselineError::EmptyGraph`] for an empty graph;
+    /// - [`BaselineError::TooFewNodes`] for a single-node graph.
+    pub fn bisect(&self, g: &Graph) -> Result<Bipartition, BaselineError> {
+        let n = g.node_count();
+        if n == 0 {
+            return Err(BaselineError::EmptyGraph);
+        }
+        if n < 2 {
+            return Err(BaselineError::TooFewNodes { nodes: n });
+        }
+        // source: heaviest hub
+        let s = g
+            .node_ids()
+            .max_by(|&a, &b| {
+                g.weighted_degree(a)
+                    .partial_cmp(&g.weighted_degree(b))
+                    .expect("degrees are finite")
+                    .then(b.cmp(&a))
+            })
+            .expect("graph is non-empty");
+        // sink candidates: farthest nodes by BFS hop distance
+        let order = g.bfs_order(s);
+        let mut best: Option<(f64, Bipartition)> = None;
+        for &t in order.iter().rev().take(self.trials) {
+            if t == s {
+                continue;
+            }
+            let res = edmonds_karp(g, s, t)?;
+            let score = match self.selection {
+                TrialSelection::MinWeight => res.flow_value,
+                TrialSelection::MinRatio => {
+                    let a = res.partition.count_on(Side::Local).max(1);
+                    let b = res.partition.count_on(Side::Remote).max(1);
+                    res.flow_value / (a as f64 * b as f64)
+                }
+            };
+            let keep = match &best {
+                None => true,
+                Some((bs, _)) => score < *bs,
+            };
+            if keep {
+                best = Some((score, res.partition));
+            }
+        }
+        let (_, partition) = best.expect("at least one sink candidate exists");
+        Ok(partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::GraphBuilder;
+
+    fn bridge_graph() -> Graph {
+        // 0-1 heavy, 2-3 heavy, bridge 1-2 light
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 9.0).unwrap();
+        b.add_edge(n[2], n[3], 9.0).unwrap();
+        b.add_edge(n[1], n[2], 1.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn flow_equals_min_cut_on_bridge() {
+        let g = bridge_graph();
+        let r = edmonds_karp(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert!((r.flow_value - 1.0).abs() < 1e-12);
+        assert!((r.partition.cut_weight(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(r.partition.side(NodeId::new(0)), Side::Local);
+        assert_eq!(r.partition.side(NodeId::new(3)), Side::Remote);
+    }
+
+    #[test]
+    fn flow_saturates_parallel_paths() {
+        // diamond: s=0, t=3, two disjoint paths of capacity 2 and 3
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 2.0).unwrap();
+        b.add_edge(n[1], n[3], 2.0).unwrap();
+        b.add_edge(n[0], n[2], 3.0).unwrap();
+        b.add_edge(n[2], n[3], 3.0).unwrap();
+        let r = edmonds_karp(&b.build(), NodeId::new(0), NodeId::new(3)).unwrap();
+        assert!((r.flow_value - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        // path with capacities 5, 1, 5
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 5.0).unwrap();
+        b.add_edge(n[1], n[2], 1.0).unwrap();
+        b.add_edge(n[2], n[3], 5.0).unwrap();
+        let r = edmonds_karp(&b.build(), NodeId::new(0), NodeId::new(3)).unwrap();
+        assert!((r.flow_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_terminals_have_zero_flow() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(1.0);
+        let y = b.add_node(1.0);
+        let z = b.add_node(1.0);
+        b.add_edge(x, y, 4.0).unwrap();
+        let r = edmonds_karp(&b.build(), x, z).unwrap();
+        assert_eq!(r.flow_value, 0.0);
+        assert!(r.partition.is_proper());
+    }
+
+    #[test]
+    fn identical_terminals_rejected() {
+        let g = bridge_graph();
+        assert_eq!(
+            edmonds_karp(&g, NodeId::new(1), NodeId::new(1)).unwrap_err(),
+            BaselineError::IdenticalTerminals
+        );
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(
+            MaxFlowBisector::new().bisect(&g).unwrap_err(),
+            BaselineError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn single_node_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        assert_eq!(
+            MaxFlowBisector::new().bisect(&b.build()).unwrap_err(),
+            BaselineError::TooFewNodes { nodes: 1 }
+        );
+    }
+
+    #[test]
+    fn bisector_finds_bridge() {
+        let g = bridge_graph();
+        let p = MaxFlowBisector::new().bisect(&g).unwrap();
+        assert!(p.is_proper());
+        assert!((p.cut_weight(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_trials_never_hurt() {
+        let g = bridge_graph();
+        let one = MaxFlowBisector::new().trials(1).bisect(&g).unwrap();
+        let five = MaxFlowBisector::new().trials(5).bisect(&g).unwrap();
+        assert!(five.cut_weight(&g) <= one.cut_weight(&g) + 1e-12);
+    }
+
+    #[test]
+    fn undirected_flow_is_symmetric() {
+        let g = bridge_graph();
+        let ab = edmonds_karp(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        let ba = edmonds_karp(&g, NodeId::new(3), NodeId::new(0)).unwrap();
+        assert!((ab.flow_value - ba.flow_value).abs() < 1e-12);
+    }
+}

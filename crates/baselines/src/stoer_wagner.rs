@@ -1,0 +1,221 @@
+//! Stoer–Wagner exact global minimum cut.
+//!
+//! Not one of the paper's comparison points, but the natural ground
+//! truth for every heuristic in this workspace: it finds the cheapest
+//! cut over *all* bipartitions in `O(V³)` with no terminal choice.
+
+use crate::BaselineError;
+use mec_graph::{Bipartition, Graph, Side};
+
+/// An exact global minimum cut.
+#[derive(Debug, Clone)]
+pub struct GlobalMinCut {
+    /// Weight of the minimum cut.
+    pub cut_weight: f64,
+    /// A bipartition attaining it.
+    pub partition: Bipartition,
+}
+
+/// Computes the exact global minimum cut of `g` with the Stoer–Wagner
+/// algorithm.
+///
+/// Disconnected graphs return a zero-weight cut separating one
+/// component from the rest.
+///
+/// # Errors
+///
+/// - [`BaselineError::EmptyGraph`] for an empty graph;
+/// - [`BaselineError::TooFewNodes`] for a single-node graph.
+pub fn stoer_wagner(g: &Graph) -> Result<GlobalMinCut, BaselineError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(BaselineError::EmptyGraph);
+    }
+    if n < 2 {
+        return Err(BaselineError::TooFewNodes { nodes: n });
+    }
+    // dense working copy of the weighted adjacency
+    let mut w = vec![vec![0.0f64; n]; n];
+    for e in g.edges() {
+        w[e.source.index()][e.target.index()] += e.weight;
+        w[e.target.index()][e.source.index()] += e.weight;
+    }
+    // merged[v] lists the original nodes currently fused into v
+    let mut merged: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best_weight = f64::INFINITY;
+    let mut best_side: Vec<usize> = Vec::new();
+
+    while active.len() > 1 {
+        // maximum-adjacency (minimum-cut-phase) ordering
+        let m = active.len();
+        let mut in_a = vec![false; m];
+        let mut weights: Vec<f64> = active.iter().map(|_| 0.0).collect();
+        let mut order = Vec::with_capacity(m);
+        for _ in 0..m {
+            // pick the most tightly connected unused vertex
+            let (pos, _) = weights
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !in_a[*i])
+                .max_by(|(ia, wa), (ib, wb)| {
+                    wa.partial_cmp(wb)
+                        .expect("weights are finite")
+                        .then(ib.cmp(ia))
+                })
+                .expect("an unused vertex remains");
+            in_a[pos] = true;
+            order.push(pos);
+            for (i, &v) in active.iter().enumerate() {
+                if !in_a[i] {
+                    weights[i] += w[active[pos]][v];
+                }
+            }
+        }
+        let last = order[m - 1];
+        let prev = order[m - 2];
+        // cut-of-the-phase: last vertex alone vs the rest
+        let phase_weight: f64 = active
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != last)
+            .map(|(_, &v)| w[active[last]][v])
+            .sum();
+        if phase_weight < best_weight {
+            best_weight = phase_weight;
+            best_side = merged[active[last]].clone();
+        }
+        // merge last into prev
+        let (vl, vp) = (active[last], active[prev]);
+        let moved = std::mem::take(&mut merged[vl]);
+        merged[vp].extend(moved);
+        for &v in &active {
+            if v != vl && v != vp {
+                w[vp][v] += w[vl][v];
+                w[v][vp] = w[vp][v];
+            }
+        }
+        active.remove(last);
+    }
+
+    let mut sides = vec![Side::Local; n];
+    for &i in &best_side {
+        sides[i] = Side::Remote;
+    }
+    Ok(GlobalMinCut {
+        cut_weight: best_weight,
+        partition: Bipartition::from_sides(sides),
+    })
+}
+
+/// Brute-force minimum cut by enumerating all bipartitions — test
+/// oracle for graphs of up to ~20 nodes.
+///
+/// # Panics
+///
+/// Panics if `g` has fewer than 2 or more than 24 nodes.
+#[cfg(test)]
+pub(crate) fn brute_force_min_cut(g: &Graph) -> (f64, Bipartition) {
+    let n = g.node_count();
+    assert!((2..=24).contains(&n), "brute force needs 2..=24 nodes");
+    let mut best = (f64::INFINITY, Bipartition::uniform(n, Side::Local));
+    // fix node 0 on the Local side to halve the space; skip improper
+    for mask in 1u32..(1 << (n - 1)) {
+        let p = Bipartition::from_fn(n, |i| {
+            if i == 0 {
+                Side::Local
+            } else if mask & (1 << (i - 1)) != 0 {
+                Side::Remote
+            } else {
+                Side::Local
+            }
+        });
+        let cw = p.cut_weight(g);
+        if cw < best.0 {
+            best = (cw, p);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::GraphBuilder;
+    use mec_netgen::NetgenSpec;
+
+    #[test]
+    fn finds_bridge_cut() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node(1.0)).collect();
+        for (a, c) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(n[a], n[c], 7.0).unwrap();
+        }
+        b.add_edge(n[2], n[3], 0.5).unwrap();
+        let g = b.build();
+        let cut = stoer_wagner(&g).unwrap();
+        assert!((cut.cut_weight - 0.5).abs() < 1e-12);
+        assert!((cut.partition.cut_weight(&g) - 0.5).abs() < 1e-12);
+        assert_eq!(cut.partition.count_on(Side::Remote), 3);
+    }
+
+    #[test]
+    fn two_node_graph() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(1.0);
+        let y = b.add_node(1.0);
+        b.add_edge(x, y, 4.0).unwrap();
+        let cut = stoer_wagner(&b.build()).unwrap();
+        assert_eq!(cut.cut_weight, 4.0);
+        assert!(cut.partition.is_proper());
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 3.0).unwrap();
+        b.add_edge(n[2], n[3], 3.0).unwrap();
+        let g = b.build();
+        let cut = stoer_wagner(&g).unwrap();
+        assert_eq!(cut.cut_weight, 0.0);
+        assert_eq!(cut.partition.cut_weight(&g), 0.0);
+        assert!(cut.partition.is_proper());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        for seed in 0..6 {
+            let g = NetgenSpec::new(10, 20).components(1).seed(seed).generate().unwrap();
+            let sw = stoer_wagner(&g).unwrap();
+            let (bf_weight, _) = brute_force_min_cut(&g);
+            assert!(
+                (sw.cut_weight - bf_weight).abs() < 1e-9,
+                "seed {seed}: SW {} vs brute force {bf_weight}",
+                sw.cut_weight
+            );
+        }
+    }
+
+    #[test]
+    fn errors_on_degenerate_graphs() {
+        assert_eq!(
+            stoer_wagner(&GraphBuilder::new().build()).unwrap_err(),
+            BaselineError::EmptyGraph
+        );
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        assert_eq!(
+            stoer_wagner(&b.build()).unwrap_err(),
+            BaselineError::TooFewNodes { nodes: 1 }
+        );
+    }
+
+    #[test]
+    fn cut_weight_matches_partition_weight() {
+        let g = NetgenSpec::new(30, 80).components(1).seed(9).generate().unwrap();
+        let cut = stoer_wagner(&g).unwrap();
+        assert!((cut.partition.cut_weight(&g) - cut.cut_weight).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: flow duality, exactness bounds, and refinement
+//! monotonicity on arbitrary generated graphs.
+
+use mec_baselines::{edmonds_karp, stoer_wagner, KernighanLin, MaxFlowBisector};
+use mec_graph::{Bipartition, NodeId, Side};
+use mec_netgen::NetgenSpec;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = mec_graph::Graph> {
+    (6usize..40, 0u64..500).prop_map(|(nodes, seed)| {
+        NetgenSpec::new(nodes, nodes * 2)
+            .components(1)
+            .unoffloadable_fraction(0.0)
+            .seed(seed)
+            .generate()
+            .expect("feasible spec")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn max_flow_equals_min_cut(g in arb_graph(), s in 0usize..6, t in 0usize..6) {
+        let n = g.node_count();
+        let (s, t) = (NodeId::new(s % n), NodeId::new((t + 7) % n));
+        if s == t { return Ok(()); }
+        let res = edmonds_karp(&g, s, t).unwrap();
+        // duality: the flow value equals the induced cut's weight
+        prop_assert!((res.flow_value - res.partition.cut_weight(&g)).abs() < 1e-9);
+        // terminals are separated
+        prop_assert_eq!(res.partition.side(s), Side::Local);
+        prop_assert_eq!(res.partition.side(t), Side::Remote);
+    }
+
+    #[test]
+    fn st_cut_upper_bounds_global_min_cut(g in arb_graph(), s in 0usize..6, t in 0usize..6) {
+        let n = g.node_count();
+        let (s, t) = (NodeId::new(s % n), NodeId::new((t + 3) % n));
+        if s == t { return Ok(()); }
+        let exact = stoer_wagner(&g).unwrap().cut_weight;
+        let st = edmonds_karp(&g, s, t).unwrap().flow_value;
+        prop_assert!(st >= exact - 1e-9, "s-t cut {st} below global minimum {exact}");
+    }
+
+    #[test]
+    fn stoer_wagner_partition_attains_reported_weight(g in arb_graph()) {
+        let cut = stoer_wagner(&g).unwrap();
+        prop_assert!(cut.partition.is_proper());
+        prop_assert!((cut.partition.cut_weight(&g) - cut.cut_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_refinement_never_worsens_any_start(g in arb_graph(), split in 1usize..5) {
+        let n = g.node_count();
+        let initial = Bipartition::from_fn(n, |i| {
+            if i % split.max(1) == 0 { Side::Local } else { Side::Remote }
+        });
+        if !initial.is_proper() { return Ok(()); }
+        let refined = KernighanLin::new().refine(&g, initial.clone());
+        prop_assert!(refined.cut_weight(&g) <= initial.cut_weight(&g) + 1e-9);
+        // refinement preserves side counts (KL swaps pairs)
+        prop_assert_eq!(refined.count_on(Side::Local), initial.count_on(Side::Local));
+    }
+
+    #[test]
+    fn all_bisectors_return_proper_partitions(g in arb_graph()) {
+        for p in [
+            MaxFlowBisector::new().bisect(&g).unwrap(),
+            KernighanLin::new().bisect(&g).unwrap(),
+            stoer_wagner(&g).unwrap().partition,
+        ] {
+            prop_assert!(p.is_proper());
+            prop_assert_eq!(p.len(), g.node_count());
+        }
+    }
+}

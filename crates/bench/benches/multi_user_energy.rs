@@ -1,0 +1,32 @@
+//! Criterion bench for Figs. 6–8: the multi-user pipeline as the crowd
+//! grows.
+
+use copmecs_core::Offloader;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_bench::workload::paper_graph;
+use mec_model::{Scenario, SystemParams, UserWorkload};
+use std::sync::Arc;
+
+fn bench_multi_user(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_8/multi_user_pipeline");
+    group.sample_size(10);
+    let pool: Vec<Arc<mec_graph::Graph>> = (0..4)
+        .map(|i| Arc::new(paper_graph(500, mec_bench::DEFAULT_SEED + i)))
+        .collect();
+    for &users in &[8usize, 32, 128] {
+        let scenario = Scenario::new(SystemParams::default()).with_users(
+            (0..users).map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % 4]))),
+        );
+        let offloader = Offloader::new();
+        group.bench_with_input(BenchmarkId::from_parameter(users), &scenario, |b, s| {
+            b.iter(|| {
+                let report = offloader.solve(std::hint::black_box(s)).unwrap();
+                std::hint::black_box(report.evaluation.totals.energy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_user);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Figs. 3–5: the single-user pipeline per cut
+//! strategy, at a representative graph size.
+
+use copmecs_core::{Offloader, StrategyKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_bench::workload::paper_graph;
+use mec_model::{Scenario, SystemParams, UserWorkload};
+
+fn bench_single_user(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_5/single_user_pipeline");
+    group.sample_size(10);
+    let graph = std::sync::Arc::new(paper_graph(1000, mec_bench::DEFAULT_SEED));
+    let scenario = Scenario::new(SystemParams::default())
+        .with_user(UserWorkload::new("u0", std::sync::Arc::clone(&graph)));
+    for (label, kind) in [
+        ("spectral", StrategyKind::Spectral),
+        ("max-flow", StrategyKind::MaxFlow),
+        ("kernighan-lin", StrategyKind::KernighanLin),
+    ] {
+        let offloader = Offloader::builder().strategy(kind).build();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scenario, |b, s| {
+            b.iter(|| {
+                let report = offloader.solve(std::hint::black_box(s)).unwrap();
+                std::hint::black_box(report.evaluation.totals.energy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_user);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Table I: the graph compression stage
+//! (Algorithm 1) across the paper's graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mec_bench::workload::paper_graph;
+use mec_labelprop::{CompressionConfig, Compressor};
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/compression");
+    group.sample_size(10);
+    for &nodes in &[250usize, 500, 1000, 2000] {
+        let g = paper_graph(nodes, mec_bench::DEFAULT_SEED);
+        let compressor = Compressor::new(CompressionConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &g, |b, g| {
+            b.iter(|| {
+                let outcome = compressor.compress(std::hint::black_box(g));
+                std::hint::black_box(outcome.stats.compressed_nodes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

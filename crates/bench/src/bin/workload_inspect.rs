@@ -1,0 +1,107 @@
+//! Inspects generated workloads: does the synthetic graph actually
+//! look like a modular mobile application?
+//!
+//! ```text
+//! cargo run --release -p mec-bench --bin workload_inspect
+//! cargo run --release -p mec-bench --bin workload_inspect -- 800 3200 --seed 9
+//! ```
+//!
+//! Prints structural metrics (density, clustering, modularity of the
+//! intended modules, pinned coupling) plus the compression outcome for
+//! either the Table I presets or one custom `(nodes, edges)` pair.
+
+use mec_bench::report::render_table;
+use mec_graph::{Graph, NodeGrouping};
+use mec_labelprop::{CompressionConfig, Compressor};
+use mec_netgen::NetgenSpec;
+
+fn intended_modules(g: &Graph, clusters_per_component: usize) -> NodeGrouping {
+    // reconstruct the generator's intended structure: components from
+    // connectivity, clusters from contiguous id blocks
+    let labeling = mec_graph::ComponentLabeling::compute(g);
+    let members = labeling.members();
+    let mut raw = vec![0usize; g.node_count()];
+    let mut next = 0usize;
+    for comp in members {
+        let size = comp.len();
+        let k = clusters_per_component.min(size.max(1));
+        let base = size / k;
+        let extra = size % k;
+        let mut idx = 0usize;
+        for c in 0..k {
+            let len = base + usize::from(c < extra);
+            for _ in 0..len {
+                raw[comp[idx].index()] = next;
+                idx += 1;
+            }
+            next += 1;
+        }
+    }
+    NodeGrouping::from_raw(&raw)
+}
+
+fn inspect(nodes: usize, edges: usize, seed: u64) -> Vec<String> {
+    let g = NetgenSpec::paper_network(nodes, edges)
+        .seed(seed)
+        .generate()
+        .expect("spec is feasible");
+    let modules = intended_modules(&g, 4);
+    let stats = Compressor::new(CompressionConfig::default()).compress(&g).stats;
+    let deg = g.degree_summary();
+    vec![
+        format!("{nodes}"),
+        format!("{edges}"),
+        format!("{:.4}", g.density()),
+        format!("{:.1}±{:.1}", deg.mean, deg.std_dev),
+        format!("{:.3}", g.clustering_coefficient()),
+        format!("{:.3}", g.modularity(&modules)),
+        format!("{:.0}%", 100.0 * g.pinned_coupling_fraction()),
+        format!("{}", stats.compressed_nodes),
+        format!("{:.0}%", 100.0 * stats.node_reduction()),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20190707u64;
+    let mut custom: Vec<usize> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            v => custom.push(v.parse().expect("arguments are node/edge counts")),
+        }
+    }
+    let cases: Vec<(usize, usize)> = if custom.len() >= 2 {
+        vec![(custom[0], custom[1])]
+    } else {
+        NetgenSpec::table1_rows().to_vec()
+    };
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|&(n, e)| inspect(n, e, seed))
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "edges",
+                "density",
+                "degree",
+                "clustering",
+                "module Q",
+                "pin coupling",
+                "super-nodes",
+                "reduction",
+            ],
+            &rows
+        )
+    );
+    println!("module Q = weighted modularity of the generator's intended clusters");
+}

@@ -1,0 +1,40 @@
+//! Experiment harness reproducing the paper's evaluation (§IV).
+//!
+//! One module per published artefact:
+//!
+//! | Paper artefact | Module | Regenerate with |
+//! |---|---|---|
+//! | Table I (compression) | [`table1`] | `experiments table1` |
+//! | Fig. 3 local energy, 1 user | [`energy`] | `experiments fig3` |
+//! | Fig. 4 transmission energy, 1 user | [`energy`] | `experiments fig4` |
+//! | Fig. 5 total energy, 1 user | [`energy`] | `experiments fig5` |
+//! | Fig. 6 local energy, multi-user | [`multiuser`] | `experiments fig6` |
+//! | Fig. 7 transmission energy, multi-user | [`multiuser`] | `experiments fig7` |
+//! | Fig. 8 total energy, multi-user | [`multiuser`] | `experiments fig8` |
+//! | Fig. 9 running time | [`runtime`] | `experiments fig9` |
+//!
+//! The `experiments` binary prints the same rows/series the paper
+//! reports (normalised the same way) and dumps machine-readable JSON
+//! next to the text output. Criterion benches in `benches/` time the
+//! same code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod energy;
+pub mod multiuser;
+pub mod report;
+pub mod runtime;
+pub mod table1;
+pub mod workload;
+
+/// The graph sizes the paper sweeps in its single-user experiments and
+/// Table I.
+pub const PAPER_SIZES: [usize; 5] = [250, 500, 1000, 2000, 5000];
+
+/// The user counts the paper sweeps in its multi-user experiments.
+pub const PAPER_USER_SIZES: [usize; 5] = [250, 500, 1000, 2000, 5000];
+
+/// Seed used throughout so every table is regenerable bit-for-bit.
+pub const DEFAULT_SEED: u64 = 20190707;

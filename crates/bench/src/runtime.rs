@@ -1,0 +1,221 @@
+//! Figure 9 — running time versus graph size.
+//!
+//! Four curves as in the paper:
+//!
+//! - **our algorithm without engine** — the spectral pipeline with the
+//!   *dense* eigensolver. The paper reports that its serial variant
+//!   "wasted most of the running time on lots of matrix
+//!   multiplications about the graph spectrum calculation"; the dense
+//!   Jacobi path reproduces exactly that cost profile.
+//! - **our algorithm with engine** — the sparse Lanczos eigensolver
+//!   with Laplacian products sharded over the [`mec_engine`] cluster
+//!   (the paper's Spark configuration).
+//! - **max-flow min-cut** and **Kernighan–Lin** — the combinatorial
+//!   baselines.
+//!
+//! Two extra series (not in the paper): `lanczos-serial` isolates how
+//! much of the speed-up comes from sparsity vs parallelism, and
+//! `multilevel` times the future-work coarsen–partition–refine scheme.
+
+use crate::workload::edges_for;
+use copmecs_core::{CutError, CutStrategy, Offloader, StrategyKind};
+use mec_engine::Cluster;
+use mec_graph::{Bipartition, Graph};
+use mec_linalg::LanczosOptions;
+use mec_model::{Scenario, SystemParams, UserWorkload};
+use mec_netgen::NetgenSpec;
+use mec_spectral::SpectralBisector;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One timing measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimePoint {
+    /// Graph size (function count).
+    pub size: usize,
+    /// Curve label.
+    pub variant: String,
+    /// End-to-end pipeline seconds (compression + cuts + greedy).
+    pub seconds: f64,
+}
+
+/// Spectral strategy forced onto the dense (Jacobi) eigensolver —
+/// the paper's matrix-multiplication-bound serial implementation.
+#[derive(Debug, Clone)]
+pub struct DenseSpectralStrategy {
+    bisector: SpectralBisector,
+}
+
+impl DenseSpectralStrategy {
+    /// Creates the dense-eigensolver strategy.
+    pub fn new() -> Self {
+        DenseSpectralStrategy {
+            bisector: SpectralBisector::new().lanczos_options(LanczosOptions {
+                // always densify: every eigenpair comes from Jacobi
+                dense_cutoff: usize::MAX,
+                ..LanczosOptions::default()
+            }),
+        }
+    }
+}
+
+impl Default for DenseSpectralStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CutStrategy for DenseSpectralStrategy {
+    fn name(&self) -> &'static str {
+        "spectral-dense"
+    }
+
+    fn cut(&self, g: &Graph) -> Result<Bipartition, CutError> {
+        Ok(self.bisector.bisect(g)?.partition)
+    }
+}
+
+/// Serial sparse Lanczos spectral strategy (the ablation series).
+#[derive(Debug, Clone)]
+pub struct LanczosSerialStrategy {
+    bisector: SpectralBisector,
+}
+
+impl LanczosSerialStrategy {
+    /// Creates the serial-Lanczos strategy.
+    pub fn new() -> Self {
+        LanczosSerialStrategy {
+            bisector: SpectralBisector::new().lanczos_options(LanczosOptions {
+                dense_cutoff: 0,
+                ..LanczosOptions::default()
+            }),
+        }
+    }
+}
+
+impl Default for LanczosSerialStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CutStrategy for LanczosSerialStrategy {
+    fn name(&self) -> &'static str {
+        "lanczos-serial"
+    }
+
+    fn cut(&self, g: &Graph) -> Result<Bipartition, CutError> {
+        Ok(self.bisector.bisect(g)?.partition)
+    }
+}
+
+/// Builds the Fig. 9 workload: a *single-component* graph of `nodes`
+/// functions (so the spectral stage faces one large compressed graph,
+/// as in the paper's runtime experiment).
+pub fn runtime_graph(nodes: usize, seed: u64) -> Graph {
+    NetgenSpec::new(nodes, edges_for(nodes))
+        .components(1)
+        .seed(seed)
+        .generate()
+        .expect("runtime workloads are generable")
+}
+
+fn time_pipeline(offloader: &Offloader, scenario: &Scenario) -> f64 {
+    let start = std::time::Instant::now();
+    let report = offloader.solve(scenario).expect("pipeline succeeds");
+    let wall = start.elapsed().as_secs_f64();
+    // prefer the report's own stage accounting; fall back to wall time
+    let staged = report.timings.total().as_secs_f64();
+    if staged > 0.0 {
+        staged
+    } else {
+        wall
+    }
+}
+
+/// Runs the timing sweep. `include_extra` adds the `lanczos-serial`
+/// ablation series.
+pub fn run(sizes: &[usize], seed: u64, include_extra: bool) -> Vec<RuntimePoint> {
+    let cluster = Arc::new(Cluster::with_default_parallelism().expect("cluster spawns"));
+    let mut out = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let graph = Arc::new(runtime_graph(size, seed + i as u64));
+        let scenario = Scenario::new(SystemParams::default())
+            .with_user(UserWorkload::new("u0", Arc::clone(&graph)));
+
+        let mut variants: Vec<(String, Offloader)> = vec![
+            (
+                "our algorithm without engine".into(),
+                Offloader::builder().build_with_strategy(Box::new(DenseSpectralStrategy::new())),
+            ),
+            (
+                "our algorithm with engine".into(),
+                Offloader::builder().strategy(StrategyKind::SpectralParallel {
+                    cluster: Arc::clone(&cluster),
+                    blocks: cluster.worker_count() * 2,
+                }).build(),
+            ),
+            (
+                "max-flow min-cut".into(),
+                Offloader::builder().strategy(StrategyKind::MaxFlow).build(),
+            ),
+            (
+                "Kernighan-Lin".into(),
+                Offloader::builder().strategy(StrategyKind::KernighanLin).build(),
+            ),
+        ];
+        if include_extra {
+            variants.push((
+                "lanczos-serial (extra)".into(),
+                Offloader::builder().build_with_strategy(Box::new(LanczosSerialStrategy::new())),
+            ));
+            variants.push((
+                "multilevel (extra)".into(),
+                Offloader::builder()
+                    .strategy(StrategyKind::Multilevel)
+                    .build(),
+            ));
+        }
+        for (label, offloader) in variants {
+            let seconds = time_pipeline(&offloader, &scenario);
+            out.push(RuntimePoint {
+                size,
+                variant: label,
+                seconds,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_report_positive_times() {
+        let pts = run(&[150], 3, true);
+        assert_eq!(pts.len(), 6);
+        for p in &pts {
+            assert!(p.seconds > 0.0, "{} reported zero time", p.variant);
+        }
+    }
+
+    #[test]
+    fn runtime_graph_is_single_component() {
+        let g = runtime_graph(200, 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn custom_strategies_cut_properly() {
+        let g = runtime_graph(80, 2);
+        // compress first — strategies see compressed graphs in the pipeline
+        let dense = DenseSpectralStrategy::new().cut(&g).unwrap();
+        let serial = LanczosSerialStrategy::new().cut(&g).unwrap();
+        assert!(dense.is_proper());
+        assert!(serial.is_proper());
+        // both spectral variants find the same cut weight
+        assert!((dense.cut_weight(&g) - serial.cut_weight(&g)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,173 @@
+//! Serialisable pipeline configuration — the file a deployment
+//! actually ships.
+//!
+//! Operators tune the offloader per cell (radio quality, server size,
+//! compression aggressiveness) and keep the result under version
+//! control. [`PipelineConfig`] captures everything needed to rebuild an
+//! [`Offloader`](crate::Offloader) plus the
+//! [`SystemParams`](mec_model::SystemParams) to price against, as plain
+//! JSON:
+//!
+//! ```json
+//! {
+//!   "compression": {
+//!     "threshold": { "MeanFactor": 1.5 },
+//!     "alpha_threshold": 0.05,
+//!     "max_rounds": 50,
+//!     "policy": "Bfs",
+//!     "parallel": true
+//!   },
+//!   "strategy": "Spectral",
+//!   "greedy": "Lazy",
+//!   "system": { "bandwidth": 20.0, "local_capacity": 10.0,
+//!               "server_capacity": 2000.0, "local_power": 1.0,
+//!               "tx_power": 10.0, "control_overhead": 2.0,
+//!               "allocation": "EqualShare" }
+//! }
+//! ```
+
+use crate::{GreedyMode, Offloader, StrategyKind};
+use mec_labelprop::CompressionConfig;
+use mec_model::SystemParams;
+use serde::{Deserialize, Serialize};
+
+/// Serialisable strategy choice.
+///
+/// The engine-parallel spectral variant needs a live
+/// [`Cluster`](mec_engine::Cluster) and therefore cannot come from a
+/// config file; construct it programmatically via
+/// [`StrategyKind::SpectralParallel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StrategyChoice {
+    /// The paper's spectral pipeline (default).
+    #[default]
+    Spectral,
+    /// Edmonds–Karp max-flow minimum cut.
+    MaxFlow,
+    /// Kernighan–Lin.
+    KernighanLin,
+    /// Multilevel coarsen–partition–refine.
+    Multilevel,
+}
+
+impl From<StrategyChoice> for StrategyKind {
+    fn from(c: StrategyChoice) -> Self {
+        match c {
+            StrategyChoice::Spectral => StrategyKind::Spectral,
+            StrategyChoice::MaxFlow => StrategyKind::MaxFlow,
+            StrategyChoice::KernighanLin => StrategyKind::KernighanLin,
+            StrategyChoice::Multilevel => StrategyKind::Multilevel,
+        }
+    }
+}
+
+/// Everything a deployment needs to rebuild its offloader and pricing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PipelineConfig {
+    /// Algorithm 1 knobs.
+    #[serde(default)]
+    pub compression: CompressionConfig,
+    /// Cut backend.
+    #[serde(default)]
+    pub strategy: StrategyChoice,
+    /// Greedy driver.
+    #[serde(default)]
+    pub greedy: GreedyMode,
+    /// MEC pricing constants.
+    #[serde(default)]
+    pub system: SystemParams,
+}
+
+impl PipelineConfig {
+    /// Parses a configuration from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error message for malformed
+    /// input.
+    pub fn from_json_str(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Renders the configuration as pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+
+    /// Builds the configured [`Offloader`].
+    pub fn offloader(&self) -> Offloader {
+        Offloader::builder()
+            .compression(self.compression.clone())
+            .strategy(self.strategy.into())
+            .greedy_mode(self.greedy)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_model::{Scenario, UserWorkload};
+    use mec_netgen::NetgenSpec;
+
+    #[test]
+    fn default_config_round_trips_through_json() {
+        let config = PipelineConfig::default();
+        let json = config.to_json_string();
+        let back = PipelineConfig::from_json_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn partial_json_fills_defaults() {
+        let config = PipelineConfig::from_json_str(r#"{ "strategy": "KernighanLin" }"#).unwrap();
+        assert_eq!(config.strategy, StrategyChoice::KernighanLin);
+        assert_eq!(config.greedy, GreedyMode::Lazy);
+        assert_eq!(config.compression, CompressionConfig::default());
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        let err = PipelineConfig::from_json_str("{ nope }").unwrap_err();
+        assert!(!err.is_empty());
+        let err2 = PipelineConfig::from_json_str(r#"{ "strategy": "Quantum" }"#).unwrap_err();
+        assert!(err2.contains("Quantum") || err2.contains("variant"), "{err2}");
+    }
+
+    #[test]
+    fn configured_offloader_solves_and_matches_direct_construction() {
+        let json = r#"{
+            "strategy": "MaxFlow",
+            "greedy": "Exhaustive",
+            "system": { "bandwidth": 25.0, "local_capacity": 10.0,
+                        "server_capacity": 1500.0, "local_power": 1.0,
+                        "tx_power": 10.0, "control_overhead": 2.0,
+                        "allocation": "Fifo" }
+        }"#;
+        let config = PipelineConfig::from_json_str(json).unwrap();
+        let g = NetgenSpec::new(80, 220).seed(3).generate().unwrap();
+        let scenario = Scenario::new(config.system).with_user(UserWorkload::new("u", g.clone()));
+        let from_config = config.offloader().solve(&scenario).unwrap();
+        let direct = Offloader::builder()
+            .strategy(StrategyKind::MaxFlow)
+            .greedy_mode(GreedyMode::Exhaustive)
+            .build()
+            .solve(&scenario)
+            .unwrap();
+        assert_eq!(from_config.plan, direct.plan);
+        assert_eq!(from_config.strategy, "max-flow-min-cut");
+    }
+
+    #[test]
+    fn every_strategy_choice_maps_to_a_kind() {
+        for (choice, name) in [
+            (StrategyChoice::Spectral, "spectral"),
+            (StrategyChoice::MaxFlow, "max-flow-min-cut"),
+            (StrategyChoice::KernighanLin, "kernighan-lin"),
+            (StrategyChoice::Multilevel, "multilevel"),
+        ] {
+            let kind: StrategyKind = choice.into();
+            assert_eq!(kind.build().name(), name);
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! Algorithm 2's scheme generation as an incremental local search on
+//! the part system.
+//!
+//! The paper's greedy loop starts from the per-component splits
+//! (§III-B: "one part executes locally, and another part executes
+//! remotely") and migrates parts while the combined objective `E + T`
+//! decreases (Algorithm 2's termination test
+//! `E_t + T_t < E_{t-1} + T_{t-1}`). This module generalises that loop
+//! just enough to be robust under shared-server contention:
+//!
+//! - moves go in **both directions** (device → server and back) — a
+//!   crowd of users can only reach the contention equilibrium if early
+//!   placement mistakes are revertible;
+//! - besides single parts, candidates include **whole components**
+//!   (escaping the sibling-coupling trap), **whole users** (the big
+//!   payoff of a user leaving the server — one less capacity sharer —
+//!   only materialises when their last part departs), and component
+//!   **orientation swaps** (which half of a split is the local one);
+//! - every candidate is priced in `O(1)`–`O(parts of user)` against an
+//!   incrementally-maintained objective, and a final guard ensures the
+//!   result is never worse than not offloading at all.
+//!
+//! Two drivers: [`GreedyMode::Exhaustive`] re-prices every candidate
+//! each round (the literal reading of Algorithm 2); [`GreedyMode::Lazy`]
+//! drains a lazily-updated max-heap and rescans when it runs dry — far
+//! fewer evaluations, same kind of local optimum.
+
+use crate::parts::PartSystem;
+use mec_graph::Side;
+use mec_model::{AllocationPolicy, SystemParams};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which greedy driver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum GreedyMode {
+    /// Scan all candidates every iteration and apply the best.
+    Exhaustive,
+    /// Lazily-updated priority queue with rescan phases (default).
+    #[default]
+    Lazy,
+}
+
+/// Statistics from a greedy run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyOutcome {
+    /// Part relocations applied (both directions).
+    pub moves: usize,
+    /// Objective `E + T` of the initial split placement.
+    pub initial_objective: f64,
+    /// Objective after convergence.
+    pub final_objective: f64,
+    /// Candidate evaluations performed.
+    pub evaluations: usize,
+}
+
+const EPS: f64 = 1e-9;
+
+/// What a move relocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Target {
+    /// One part.
+    Single(usize),
+    /// Both parts of a component.
+    Pair(usize),
+    /// Every part of a user.
+    User(usize),
+}
+
+/// A local-search candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Move {
+    /// Relocate the target onto the device.
+    Home(Target),
+    /// Relocate the target onto the server.
+    Out(Target),
+    /// Swap which half of a split component is the local one.
+    Swap(usize),
+}
+
+/// Incrementally-maintained objective state.
+struct ObjectiveState {
+    params: SystemParams,
+    /// Total local work (including pinned), all users.
+    lw: f64,
+    /// Total remote work, all users.
+    rw: f64,
+    /// Total transmission volume incl. control overhead, all users.
+    tv: f64,
+    /// Remote work per user (to track the offloader count).
+    rw_user: Vec<f64>,
+    /// Users with positive remote work.
+    offloaders: usize,
+}
+
+impl ObjectiveState {
+    fn new(ps: &PartSystem, params: &SystemParams) -> Self {
+        let users = ps.user_count();
+        let mut lw = 0.0;
+        let mut rw = 0.0;
+        let mut tv = 0.0;
+        let mut rw_user = vec![0.0; users];
+        for (u, slot) in rw_user.iter_mut().enumerate() {
+            let (l, r) = ps.work_split_of_user(u);
+            lw += l;
+            rw += r;
+            *slot = r;
+            tv += ps.tx_volume_of_user(u, params.control_overhead);
+        }
+        let offloaders = rw_user.iter().filter(|&&r| r > EPS).count();
+        ObjectiveState {
+            params: *params,
+            lw,
+            rw,
+            tv,
+            rw_user,
+            offloaders,
+        }
+    }
+
+    /// Server time `Σ (t_s + wt)` for a remote-work profile.
+    /// `adjusted` optionally overrides one user's remote work.
+    fn server_time(&self, rw_total: f64, offloaders: usize, adjusted: Option<(usize, f64)>) -> f64 {
+        let cap = self.params.server_capacity;
+        match self.params.allocation {
+            // EqualShare: t_s^i = rw_i · k / I_S  →  Σ = k · RW / I_S.
+            // Proportional: t_s^i = RW / I_S each →  Σ = k · RW / I_S.
+            AllocationPolicy::EqualShare | AllocationPolicy::ProportionalToLoad => {
+                offloaders as f64 * rw_total / cap
+            }
+            // FIFO in user order: position j (0-based) of k jobs
+            // contributes t_j · (k − j). k is derived from the adjusted
+            // profile itself — the caller's `offloaders` hint matches it
+            // for real moves but not for hypothetical what-ifs like the
+            // all-local guard.
+            AllocationPolicy::Fifo => {
+                let _ = offloaders;
+                let value = |u: usize, r: f64| match adjusted {
+                    Some((au, val)) if au == u => val,
+                    _ => r,
+                };
+                let k = self
+                    .rw_user
+                    .iter()
+                    .enumerate()
+                    .filter(|&(u, &r)| value(u, r) > EPS)
+                    .count();
+                let mut total = 0.0;
+                let mut pos = 0usize;
+                for (u, &r) in self.rw_user.iter().enumerate() {
+                    let r = value(u, r);
+                    if r > EPS {
+                        total += r / cap * (k - pos) as f64;
+                        pos += 1;
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    /// `E + T` for a hypothetical state.
+    fn objective_for(
+        &self,
+        lw: f64,
+        rw: f64,
+        tv: f64,
+        offloaders: usize,
+        adjusted: Option<(usize, f64)>,
+    ) -> f64 {
+        let p = &self.params;
+        let local_time = lw / p.local_capacity;
+        let tx_time = tv / p.bandwidth;
+        let energy = local_time * p.local_power + tx_time * p.tx_power;
+        let time = local_time + self.server_time(rw, offloaders, adjusted) + tx_time;
+        energy + time
+    }
+
+    /// Current objective.
+    fn objective(&self) -> f64 {
+        self.objective_for(self.lw, self.rw, self.tv, self.offloaders, None)
+    }
+
+    /// Per-part pinned transmission term.
+    fn pin_term(&self, ps: &PartSystem, i: usize) -> f64 {
+        let p = &ps.parts()[i];
+        p.pinned_cut + p.pinned_crossings as f64 * self.params.control_overhead
+    }
+
+    /// Transmission-volume change if every part in `targets` (all
+    /// currently on the opposite side) moves to `to`.
+    fn batch_tx_delta(&self, ps: &PartSystem, targets: &[usize], to: Side) -> f64 {
+        let oh = self.params.control_overhead;
+        let mut delta = 0.0;
+        // pinned edges cross exactly when the part is remote
+        for &i in targets {
+            match to {
+                Side::Local => delta -= self.pin_term(ps, i),
+                Side::Remote => delta += self.pin_term(ps, i),
+            }
+        }
+        // sibling cross edges: recompute the crossing indicator for
+        // every touched component (each at most once)
+        let mut seen_comp = Vec::with_capacity(targets.len());
+        for &i in targets {
+            let c = ps.parts()[i].component;
+            if seen_comp.contains(&c) {
+                continue;
+            }
+            seen_comp.push(c);
+            let comp = &ps.components()[c];
+            let Some(p2) = comp.part2 else { continue };
+            let p1 = comp.part1;
+            let before = ps.side(p1) != ps.side(p2);
+            let side_after = |p: usize| {
+                if targets.contains(&p) {
+                    to
+                } else {
+                    ps.side(p)
+                }
+            };
+            let after = side_after(p1) != side_after(p2);
+            if before != after {
+                let cross = comp.cross_weight + comp.cross_count as f64 * oh;
+                delta += if after { cross } else { -cross };
+            }
+        }
+        delta
+    }
+
+    /// Objective change if `targets` (parts of user `u`, all currently
+    /// on the opposite side) relocate to `to`. Negative = improvement.
+    fn batch_delta(&self, ps: &PartSystem, u: usize, targets: &[usize], to: Side) -> f64 {
+        debug_assert!(targets.iter().all(|&i| ps.parts()[i].user == u));
+        debug_assert!(targets.iter().all(|&i| ps.side(i) != to));
+        let w: f64 = targets.iter().map(|&i| ps.parts()[i].work).sum();
+        let (lw2, rw2, user_rw2) = match to {
+            Side::Local => (self.lw + w, self.rw - w, self.rw_user[u] - w),
+            Side::Remote => (self.lw - w, self.rw + w, self.rw_user[u] + w),
+        };
+        let tv2 = self.tv + self.batch_tx_delta(ps, targets, to);
+        let offloaders2 = match (self.rw_user[u] > EPS, user_rw2 > EPS) {
+            (true, false) => self.offloaders - 1,
+            (false, true) => self.offloaders + 1,
+            _ => self.offloaders,
+        };
+        self.objective_for(lw2, rw2, tv2, offloaders2, Some((u, user_rw2))) - self.objective()
+    }
+
+    /// Commits a batch relocation.
+    fn apply_batch(&mut self, ps: &mut PartSystem, u: usize, targets: &[usize], to: Side) {
+        let w: f64 = targets.iter().map(|&i| ps.parts()[i].work).sum();
+        self.tv += self.batch_tx_delta(ps, targets, to);
+        match to {
+            Side::Local => {
+                self.lw += w;
+                self.rw -= w;
+            }
+            Side::Remote => {
+                self.lw -= w;
+                self.rw += w;
+            }
+        }
+        let before = self.rw_user[u];
+        self.rw_user[u] += match to {
+            Side::Local => -w,
+            Side::Remote => w,
+        };
+        match (before > EPS, self.rw_user[u] > EPS) {
+            (true, false) => self.offloaders -= 1,
+            (false, true) => self.offloaders += 1,
+            _ => {}
+        }
+        for &i in targets {
+            ps.set_side(i, to);
+        }
+    }
+
+    /// Resolves a relocation move into `(user, parts, destination)`;
+    /// `None` when currently invalid (wrong sides, missing sibling,
+    /// nothing to do).
+    fn resolve(&self, ps: &PartSystem, mv: Move) -> Option<(usize, Vec<usize>, Side)> {
+        let (target, to) = match mv {
+            Move::Home(t) => (t, Side::Local),
+            Move::Out(t) => (t, Side::Remote),
+            Move::Swap(_) => unreachable!("swaps are priced separately"),
+        };
+        let from = to.flipped();
+        let (user, parts) = match target {
+            Target::Single(i) => {
+                if ps.side(i) != from {
+                    return None;
+                }
+                (ps.parts()[i].user, vec![i])
+            }
+            Target::Pair(c) => {
+                let comp = &ps.components()[c];
+                let p2 = comp.part2?;
+                let p1 = comp.part1;
+                if ps.side(p1) != from || ps.side(p2) != from {
+                    return None;
+                }
+                (comp.user, vec![p1, p2])
+            }
+            Target::User(u) => {
+                let parts: Vec<usize> = ps
+                    .parts_of_user(u)
+                    .iter()
+                    .copied()
+                    .filter(|&i| ps.side(i) == from)
+                    .collect();
+                if parts.len() < 2 {
+                    return None; // single moves cover this
+                }
+                (u, parts)
+            }
+        };
+        Some((user, parts, to))
+    }
+
+    /// Gain (= −Δobjective) of a candidate, `None` when invalid.
+    fn gain_of(&self, ps: &PartSystem, mv: Move) -> Option<f64> {
+        match mv {
+            Move::Swap(c) => self.swap_delta(ps, c).map(|(_, _, d)| -d),
+            _ => {
+                let (u, parts, to) = self.resolve(ps, mv)?;
+                Some(-self.batch_delta(ps, u, &parts, to))
+            }
+        }
+    }
+
+    /// Commits a candidate; returns how many parts moved.
+    fn apply_move(&mut self, ps: &mut PartSystem, mv: Move) -> usize {
+        match mv {
+            Move::Swap(c) => {
+                let (to_remote, to_local, _) =
+                    self.swap_delta(ps, c).expect("swap validated before apply");
+                let u = ps.parts()[to_remote].user;
+                self.apply_batch(ps, u, &[to_local], Side::Local);
+                self.apply_batch(ps, u, &[to_remote], Side::Remote);
+                2
+            }
+            _ => {
+                let (u, parts, to) = self.resolve(ps, mv).expect("move validated before apply");
+                let n = parts.len();
+                self.apply_batch(ps, u, &parts, to);
+                n
+            }
+        }
+    }
+
+    /// Objective change if split component `c` swaps which half is
+    /// local. Returns `(to_remote, to_local, delta)`; `None` unless the
+    /// component currently has exactly one local and one remote half.
+    fn swap_delta(&self, ps: &PartSystem, c: usize) -> Option<(usize, usize, f64)> {
+        let comp = &ps.components()[c];
+        let p2 = comp.part2?;
+        let p1 = comp.part1;
+        let (to_remote, to_local) = match (ps.side(p1), ps.side(p2)) {
+            (Side::Local, Side::Remote) => (p1, p2),
+            (Side::Remote, Side::Local) => (p2, p1),
+            _ => return None,
+        };
+        let (wl, wr) = (ps.parts()[to_remote].work, ps.parts()[to_local].work);
+        let u = comp.user;
+        // newly-remote half starts paying its pinned coupling, the
+        // newly-local one stops; the cross edges keep crossing.
+        let tv2 = self.tv + self.pin_term(ps, to_remote) - self.pin_term(ps, to_local);
+        let lw2 = self.lw - wl + wr;
+        let rw2 = self.rw + wl - wr;
+        let user_rw2 = self.rw_user[u] + wl - wr;
+        let offloaders2 = match (self.rw_user[u] > EPS, user_rw2 > EPS) {
+            (true, false) => self.offloaders - 1,
+            (false, true) => self.offloaders + 1,
+            _ => self.offloaders,
+        };
+        let delta =
+            self.objective_for(lw2, rw2, tv2, offloaders2, Some((u, user_rw2))) - self.objective();
+        Some((to_remote, to_local, delta))
+    }
+}
+
+/// f64 heap key with total order (all keys are finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Gain(f64);
+
+impl Eq for Gain {}
+
+impl PartialOrd for Gain {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Gain {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("gains are finite")
+    }
+}
+
+fn all_moves(ps: &PartSystem) -> Vec<Move> {
+    let singles = (0..ps.parts().len()).map(Target::Single);
+    let pairs = (0..ps.components().len()).map(Target::Pair);
+    let users = (0..ps.user_count()).map(Target::User);
+    let targets: Vec<Target> = singles.chain(pairs).chain(users).collect();
+    let mut moves: Vec<Move> = Vec::with_capacity(2 * targets.len() + ps.components().len());
+    moves.extend(targets.iter().map(|&t| Move::Home(t)));
+    moves.extend(targets.iter().map(|&t| Move::Out(t)));
+    moves.extend((0..ps.components().len()).map(Move::Swap));
+    moves
+}
+
+/// Runs the local search over `ps`, mutating part sides in place.
+///
+/// After convergence, the all-local plan is checked as a final guard:
+/// the returned assignment is never worse than not offloading at all.
+pub(crate) fn run_greedy(
+    ps: &mut PartSystem,
+    params: &SystemParams,
+    mode: GreedyMode,
+) -> GreedyOutcome {
+    let mut state = ObjectiveState::new(ps, params);
+    let initial = state.objective();
+    let mut moves = 0usize;
+    let mut evaluations = 0usize;
+    // strict cap against pathological float drift; never reached in
+    // practice (each applied move improves the objective by > EPS)
+    let move_cap = 20 * (ps.parts().len() + ps.user_count() + 4);
+
+    match mode {
+        GreedyMode::Exhaustive => {
+            while moves < move_cap {
+                let mut best: Option<(Move, f64)> = None;
+                for mv in all_moves(ps) {
+                    let Some(g) = state.gain_of(ps, mv) else { continue };
+                    evaluations += 1;
+                    let better = match best {
+                        None => true,
+                        Some((_, bg)) => g > bg,
+                    };
+                    if better {
+                        best = Some((mv, g));
+                    }
+                }
+                match best {
+                    Some((mv, g)) if g > EPS => {
+                        moves += state.apply_move(ps, mv);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        GreedyMode::Lazy => {
+            // phases: drain a heap of positive-gain candidates; gains
+            // drift as aggregates change, so when the heap runs dry,
+            // rescan everything once and start a new phase if anything
+            // still improves.
+            'phases: while moves < move_cap {
+                let mut heap: BinaryHeap<(Gain, Move)> = BinaryHeap::new();
+                for mv in all_moves(ps) {
+                    if let Some(g) = state.gain_of(ps, mv) {
+                        evaluations += 1;
+                        if g > EPS {
+                            heap.push((Gain(g), mv));
+                        }
+                    }
+                }
+                if heap.is_empty() {
+                    break 'phases;
+                }
+                let mut applied_this_phase = false;
+                while let Some((_, mv)) = heap.pop() {
+                    let Some(gain) = state.gain_of(ps, mv) else { continue };
+                    evaluations += 1;
+                    if gain <= EPS {
+                        continue;
+                    }
+                    // stale (gain drifted below the next candidate): repush
+                    if let Some(&(next, _)) = heap.peek() {
+                        if gain + EPS < next.0 {
+                            heap.push((Gain(gain), mv));
+                            continue;
+                        }
+                    }
+                    moves += state.apply_move(ps, mv);
+                    applied_this_phase = true;
+                    if moves >= move_cap {
+                        break;
+                    }
+                }
+                if !applied_this_phase {
+                    break 'phases;
+                }
+            }
+        }
+    }
+
+    // final guard: never do worse than not offloading at all
+    let total_work = state.lw + state.rw;
+    let all_local = state.objective_for(total_work, 0.0, 0.0, 0, None);
+    if all_local + EPS < state.objective() {
+        for u in 0..ps.user_count() {
+            let remote: Vec<usize> = ps
+                .parts_of_user(u)
+                .iter()
+                .copied()
+                .filter(|&i| ps.side(i) == Side::Remote)
+                .collect();
+            if !remote.is_empty() {
+                state.apply_batch(ps, u, &remote, Side::Local);
+                moves += remote.len();
+            }
+        }
+    }
+
+    GreedyOutcome {
+        moves,
+        initial_objective: initial,
+        final_objective: state.objective(),
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::{Bipartition, GraphBuilder};
+    use mec_labelprop::{CompressionConfig, Compressor, ThresholdRule};
+    use mec_model::{Scenario, SystemParams, UserWorkload};
+    use mec_netgen::NetgenSpec;
+
+    fn params() -> SystemParams {
+        SystemParams::default()
+    }
+
+    fn build_ps(graphs: &[mec_graph::Graph]) -> PartSystem {
+        let compressor =
+            Compressor::new(CompressionConfig::new().threshold(ThresholdRule::MeanFactor(1.5)));
+        let mut ps = PartSystem::new();
+        for g in graphs {
+            let outcome = compressor.compress(g);
+            let cuts: Vec<Bipartition> = outcome
+                .components
+                .iter()
+                .map(|c| {
+                    mec_spectral::SpectralBisector::new()
+                        .bisect(c.quotient.graph())
+                        .expect("non-empty component")
+                        .partition
+                })
+                .collect();
+            ps.add_user(g, &outcome, &cuts);
+        }
+        ps
+    }
+
+    #[test]
+    fn incremental_objective_matches_scenario_evaluation() {
+        let g = NetgenSpec::new(60, 150).seed(4).generate().unwrap();
+        let mut ps = build_ps(std::slice::from_ref(&g));
+        let p = params();
+        let state = ObjectiveState::new(&ps, &p);
+        let scenario = Scenario::new(p).with_user(UserWorkload::new("u", g.clone()));
+        let eval = scenario.evaluate(&ps.plan()).unwrap();
+        assert!(
+            (state.objective() - eval.totals.objective()).abs() < 1e-9,
+            "incremental {} vs model {}",
+            state.objective(),
+            eval.totals.objective()
+        );
+        // and after greedy runs
+        run_greedy(&mut ps, &p, GreedyMode::Lazy);
+        let state2 = ObjectiveState::new(&ps, &p);
+        let eval2 = scenario.evaluate(&ps.plan()).unwrap();
+        assert!((state2.objective() - eval2.totals.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_delta_predicts_applied_change() {
+        let g = NetgenSpec::new(40, 100).seed(7).generate().unwrap();
+        let mut ps = build_ps(std::slice::from_ref(&g));
+        let p = params();
+        let mut state = ObjectiveState::new(&ps, &p);
+        for i in 0..ps.parts().len() {
+            let to = ps.side(i).flipped();
+            let u = ps.parts()[i].user;
+            let before = state.objective();
+            let predicted = state.batch_delta(&ps, u, &[i], to);
+            state.apply_batch(&mut ps, u, &[i], to);
+            let after = state.objective();
+            assert!(
+                (after - before - predicted).abs() < 1e-9,
+                "part {i}: predicted {predicted}, actual {}",
+                after - before
+            );
+        }
+    }
+
+    #[test]
+    fn swap_delta_predicts_applied_change() {
+        let g = NetgenSpec::new(50, 130).seed(3).generate().unwrap();
+        let mut ps = build_ps(std::slice::from_ref(&g));
+        let p = params();
+        let mut state = ObjectiveState::new(&ps, &p);
+        for c in 0..ps.components().len() {
+            let Some((to_remote, to_local, predicted)) = state.swap_delta(&ps, c) else {
+                continue;
+            };
+            let before = state.objective();
+            let u = ps.parts()[to_remote].user;
+            state.apply_batch(&mut ps, u, &[to_local], Side::Local);
+            state.apply_batch(&mut ps, u, &[to_remote], Side::Remote);
+            assert!(
+                (state.objective() - before - predicted).abs() < 1e-9,
+                "component {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_never_increases_objective() {
+        let g = NetgenSpec::new(80, 250).seed(2).generate().unwrap();
+        let mut ps = build_ps(std::slice::from_ref(&g));
+        let out = run_greedy(&mut ps, &params(), GreedyMode::Lazy);
+        assert!(out.final_objective <= out.initial_objective + 1e-9);
+    }
+
+    #[test]
+    fn lazy_and_exhaustive_reach_comparable_optima() {
+        for seed in [1u64, 5, 9, 13] {
+            let g = NetgenSpec::new(70, 200).seed(seed).generate().unwrap();
+            let mut ps_a = build_ps(std::slice::from_ref(&g));
+            let mut ps_b = ps_a.clone();
+            let a = run_greedy(&mut ps_a, &params(), GreedyMode::Exhaustive);
+            let b = run_greedy(&mut ps_b, &params(), GreedyMode::Lazy);
+            // different move orders may land in different local optima;
+            // they must be close and both below the start
+            let denom = a.final_objective.abs().max(1.0);
+            assert!(
+                (a.final_objective - b.final_objective).abs() / denom < 0.05,
+                "seed {seed}: exhaustive {} vs lazy {}",
+                a.final_objective,
+                b.final_objective
+            );
+            assert!(a.final_objective <= a.initial_objective + 1e-9);
+            assert!(b.final_objective <= b.initial_objective + 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_result_is_locally_optimal() {
+        let g = NetgenSpec::new(50, 140).seed(11).generate().unwrap();
+        let mut ps = build_ps(std::slice::from_ref(&g));
+        let p = params();
+        run_greedy(&mut ps, &p, GreedyMode::Exhaustive);
+        let state = ObjectiveState::new(&ps, &p);
+        for mv in all_moves(&ps) {
+            if let Some(g) = state.gain_of(&ps, mv) {
+                assert!(g <= 1e-6, "{mv:?} still improves after convergence");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_user_contention_reaches_partial_equilibrium() {
+        // symmetric crowd with a server sized so that only some users
+        // can profitably offload: the search must keep a middle ground,
+        // not collapse to all-local or all-remote.
+        let p = SystemParams {
+            server_capacity: 300.0,
+            ..params()
+        };
+        let graphs: Vec<_> = (0..40)
+            .map(|i| NetgenSpec::new(60, 150).seed(20 + (i % 3)).generate().unwrap())
+            .collect();
+        let mut ps = build_ps(&graphs);
+        run_greedy(&mut ps, &p, GreedyMode::Lazy);
+        let offloaders = (0..ps.user_count())
+            .filter(|&u| ps.work_split_of_user(u).1 > 1.0)
+            .count();
+        assert!(
+            offloaders > 0 && offloaders < 40,
+            "expected partial equilibrium, got {offloaders}/40 offloaders"
+        );
+    }
+
+    #[test]
+    fn contention_monotonically_reduces_offloading() {
+        let p = params();
+        let graphs_few: Vec<_> = (0..2)
+            .map(|i| NetgenSpec::new(50, 140).seed(20 + i).generate().unwrap())
+            .collect();
+        let graphs_many: Vec<_> = (0..12)
+            .map(|i| NetgenSpec::new(50, 140).seed(20 + (i % 2)).generate().unwrap())
+            .collect();
+        let mut ps_few = build_ps(&graphs_few);
+        let mut ps_many = build_ps(&graphs_many);
+        run_greedy(&mut ps_few, &p, GreedyMode::Lazy);
+        run_greedy(&mut ps_many, &p, GreedyMode::Lazy);
+        let remote_frac = |ps: &PartSystem| {
+            let total: f64 = ps.parts().iter().map(|q| q.work).sum();
+            let remote: f64 = ps
+                .parts()
+                .iter()
+                .filter(|q| q.side == Side::Remote)
+                .map(|q| q.work)
+                .sum();
+            remote / total
+        };
+        assert!(
+            remote_frac(&ps_many) <= remote_frac(&ps_few) + 1e-9,
+            "contention must not increase offloading"
+        );
+    }
+
+    #[test]
+    fn fifo_policy_is_priced_consistently() {
+        let mut p = params();
+        p.allocation = mec_model::AllocationPolicy::Fifo;
+        let graphs: Vec<_> = (0..3)
+            .map(|i| NetgenSpec::new(40, 100).seed(30 + i).generate().unwrap())
+            .collect();
+        let mut ps = build_ps(&graphs);
+        let state = ObjectiveState::new(&ps, &p);
+        let scenario = Scenario::new(p).with_users(
+            graphs
+                .iter()
+                .enumerate()
+                .map(|(i, g)| UserWorkload::new(format!("u{i}"), g.clone())),
+        );
+        let eval = scenario.evaluate(&ps.plan()).unwrap();
+        assert!(
+            (state.objective() - eval.totals.objective()).abs() < 1e-9,
+            "incremental {} vs model {}",
+            state.objective(),
+            eval.totals.objective()
+        );
+        // delta prediction under FIFO, both directions
+        let mut state = state;
+        for to in [Side::Local, Side::Remote] {
+            let i = 0usize;
+            if ps.side(i) == to {
+                continue;
+            }
+            let u = ps.parts()[i].user;
+            let before = state.objective();
+            let predicted = state.batch_delta(&ps, u, &[i], to);
+            state.apply_batch(&mut ps, u, &[i], to);
+            assert!((state.objective() - before - predicted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parts_coupled_to_pinned_nodes_come_home_when_tx_is_ruinous() {
+        // pinned —1000— free: keeping the free node remote means paying
+        // the huge pinned-edge transmission forever.
+        let mut b = GraphBuilder::new();
+        let pin = b.add_pinned_node(1.0);
+        let free = b.add_node(1.0);
+        b.add_edge(pin, free, 1000.0).unwrap();
+        let g = b.build();
+        let mut p = params();
+        p.tx_power = 1000.0;
+        let mut ps = build_ps(std::slice::from_ref(&g));
+        let out = run_greedy(&mut ps, &p, GreedyMode::Lazy);
+        assert!(ps.parts().iter().all(|q| q.side == Side::Local));
+        assert!(out.final_objective <= out.initial_objective);
+    }
+
+    #[test]
+    fn loose_heavy_work_goes_remote() {
+        // two heavy, barely-coupled functions and a fast uncontended
+        // server: the search should ship both out.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(500.0);
+        let y = b.add_node(500.0);
+        b.add_edge(x, y, 0.5).unwrap();
+        let g = b.build();
+        let mut ps = build_ps(std::slice::from_ref(&g));
+        run_greedy(&mut ps, &params(), GreedyMode::Lazy);
+        assert!(
+            ps.parts().iter().all(|q| q.side == Side::Remote),
+            "heavy loose work should offload entirely"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! COPMECS — the paper's offloading pipeline, end to end.
+//!
+//! Given a multi-user [`Scenario`](mec_model::Scenario), the
+//! [`Offloader`] executes the three stages of the paper's method:
+//!
+//! 1. **Compression** (Algorithm 1, [`mec_labelprop`]): each user's
+//!    function data-flow graph loses its unoffloadable functions, is
+//!    split at component boundaries, and highly coupled functions are
+//!    fused by label propagation.
+//! 2. **Minimum-cut search** (§III-B): every compressed sub-graph is
+//!    bipartitioned by a pluggable [`CutStrategy`] — the paper's
+//!    spectral method, or the max-flow / Kernighan–Lin baselines it
+//!    compares against.
+//! 3. **Scheme generation** (Algorithm 2): all parts start on the edge
+//!    server; a greedy loop repeatedly moves the part whose relocation
+//!    most decreases the combined objective `E + T`, under the shared
+//!    server capacity, until no move helps.
+//!
+//! The result is an [`OffloadReport`]: one
+//! [`Bipartition`](mec_graph::Bipartition) per user plus the priced
+//! evaluation and per-stage timings.
+//!
+//! # Example
+//!
+//! ```
+//! use copmecs_core::{Offloader, StrategyKind};
+//! use mec_model::{Scenario, SystemParams, UserWorkload};
+//! use mec_netgen::NetgenSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = NetgenSpec::new(120, 400).seed(1).generate()?;
+//! let scenario = Scenario::new(SystemParams::default())
+//!     .with_user(UserWorkload::new("u0", g));
+//!
+//! let report = Offloader::builder()
+//!     .strategy(StrategyKind::Spectral)
+//!     .build()
+//!     .solve(&scenario)?;
+//! let baseline = scenario.users()[0].all_local_plan();
+//! let all_local = scenario.evaluate(&[baseline])?;
+//! assert!(report.evaluation.totals.objective() <= all_local.totals.objective());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod greedy;
+mod offloader;
+mod parts;
+mod session;
+mod strategy;
+
+pub use config::{PipelineConfig, StrategyChoice};
+pub use greedy::{GreedyMode, GreedyOutcome};
+pub use offloader::{Offloader, OffloaderBuilder, OffloadReport, StageTimings};
+pub use session::OffloadSession;
+pub use parts::{Part, PartSystem};
+pub use strategy::{CutError, CutStrategy, StrategyKind};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The cut stage failed on a compressed sub-graph.
+    Cut(CutError),
+    /// The final plan failed model validation (internal invariant —
+    /// indicates a bug if it ever surfaces).
+    Model(mec_model::ModelError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Cut(e) => write!(f, "cut stage failed: {e}"),
+            PipelineError::Model(e) => write!(f, "plan evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Cut(e) => Some(e),
+            PipelineError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<CutError> for PipelineError {
+    fn from(e: CutError) -> Self {
+        PipelineError::Cut(e)
+    }
+}
+
+impl From<mec_model::ModelError> for PipelineError {
+    fn from(e: mec_model::ModelError) -> Self {
+        PipelineError::Model(e)
+    }
+}

@@ -1,0 +1,264 @@
+//! Dynamic multi-user sessions: join, leave, re-plan.
+//!
+//! The paper solves a static snapshot, but MEC crowds churn: users walk
+//! in and out of the cell. The per-user work — compression and
+//! minimum cuts — does not depend on who else is present, only the
+//! greedy placement does. [`OffloadSession`] exploits that: each user's
+//! graph is compressed and cut **once** at join time; every
+//! [`replan`](OffloadSession::replan) rebuilds only the cheap part
+//! bookkeeping and re-runs the greedy placement against the current
+//! crowd.
+
+use crate::greedy::{run_greedy, GreedyMode};
+use crate::parts::PartSystem;
+use crate::strategy::{CutStrategy, StrategyKind};
+use crate::{OffloadReport, PipelineError, StageTimings};
+use mec_graph::{Bipartition, Graph};
+use mec_labelprop::{CompressionConfig, CompressionOutcome, Compressor};
+use mec_model::{Scenario, SystemParams, UserWorkload};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One user's cached pipeline front-end: the compression outcome and
+/// per-component cuts, computed at join time.
+#[derive(Debug, Clone)]
+struct PreparedUser {
+    name: String,
+    graph: Arc<Graph>,
+    outcome: CompressionOutcome,
+    cuts: Vec<Bipartition>,
+}
+
+/// A long-lived multi-user offloading session.
+///
+/// # Example
+///
+/// ```
+/// use copmecs_core::OffloadSession;
+/// use mec_model::SystemParams;
+/// use mec_netgen::NetgenSpec;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut session = OffloadSession::new(SystemParams::default());
+/// let g = Arc::new(NetgenSpec::new(100, 300).seed(1).generate()?);
+/// session.join("alice", Arc::clone(&g))?;
+/// session.join("bob", g)?;
+/// let two = session.replan()?;
+/// session.leave("alice");
+/// let one = session.replan()?;
+/// assert!(one.evaluation.totals.objective() < two.evaluation.totals.objective());
+/// # Ok(())
+/// # }
+/// ```
+pub struct OffloadSession {
+    params: SystemParams,
+    compressor: Compressor,
+    strategy: Box<dyn CutStrategy>,
+    greedy_mode: GreedyMode,
+    users: Vec<PreparedUser>,
+}
+
+impl OffloadSession {
+    /// A session with default compression, the spectral strategy and
+    /// the lazy greedy driver.
+    pub fn new(params: SystemParams) -> Self {
+        Self::with_config(
+            params,
+            CompressionConfig::default(),
+            StrategyKind::Spectral,
+            GreedyMode::Lazy,
+        )
+    }
+
+    /// A fully configured session.
+    pub fn with_config(
+        params: SystemParams,
+        compression: CompressionConfig,
+        strategy: StrategyKind,
+        greedy_mode: GreedyMode,
+    ) -> Self {
+        OffloadSession {
+            params,
+            compressor: Compressor::new(compression),
+            strategy: strategy.build(),
+            greedy_mode,
+            users: Vec::new(),
+        }
+    }
+
+    /// Number of users currently in the session.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// `true` if a user with this name is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.users.iter().any(|u| u.name == name)
+    }
+
+    /// Admits a user, running their compression and cuts once. A user
+    /// with the same name replaces the previous entry (e.g. after an
+    /// app update changed the graph).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Cut`] if a compressed component cannot be
+    /// bipartitioned.
+    pub fn join(
+        &mut self,
+        name: impl Into<String>,
+        graph: Arc<Graph>,
+    ) -> Result<(), PipelineError> {
+        let name = name.into();
+        let outcome = self.compressor.compress(&graph);
+        let mut cuts = Vec::with_capacity(outcome.components.len());
+        for comp in &outcome.components {
+            cuts.push(self.strategy.cut(comp.quotient.graph())?);
+        }
+        let prepared = PreparedUser {
+            name: name.clone(),
+            graph,
+            outcome,
+            cuts,
+        };
+        match self.users.iter_mut().find(|u| u.name == name) {
+            Some(slot) => *slot = prepared,
+            None => self.users.push(prepared),
+        }
+        Ok(())
+    }
+
+    /// Removes a user; returns `false` when no such user was present.
+    pub fn leave(&mut self, name: &str) -> bool {
+        let before = self.users.len();
+        self.users.retain(|u| u.name != name);
+        self.users.len() != before
+    }
+
+    /// Re-runs the placement for the current crowd using the cached
+    /// per-user compression and cuts, and prices the result.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Model`] if the session's system parameters are
+    /// invalid.
+    pub fn replan(&self) -> Result<OffloadReport, PipelineError> {
+        let mut timings = StageTimings::default();
+        let mut parts = PartSystem::new();
+        let mut compression_stats = Vec::with_capacity(self.users.len());
+        for u in &self.users {
+            compression_stats.push(u.outcome.stats);
+            parts.add_user(&u.graph, &u.outcome, &u.cuts);
+        }
+        let t = Instant::now();
+        let greedy = run_greedy(&mut parts, &self.params, self.greedy_mode);
+        timings.greedy = t.elapsed();
+
+        let scenario = Scenario::new(self.params).with_users(
+            self.users
+                .iter()
+                .map(|u| UserWorkload::new(u.name.clone(), Arc::clone(&u.graph))),
+        );
+        let plan = parts.plan();
+        let evaluation = scenario.evaluate(&plan)?;
+        Ok(OffloadReport {
+            plan,
+            evaluation,
+            compression: compression_stats,
+            greedy,
+            timings,
+            strategy: self.strategy.name(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Offloader;
+    use mec_netgen::NetgenSpec;
+
+    fn graph(seed: u64) -> Arc<Graph> {
+        Arc::new(NetgenSpec::new(90, 250).seed(seed).generate().unwrap())
+    }
+
+    #[test]
+    fn session_matches_one_shot_solver() {
+        let g1 = graph(1);
+        let g2 = graph(2);
+        let mut session = OffloadSession::new(SystemParams::default());
+        session.join("a", Arc::clone(&g1)).unwrap();
+        session.join("b", Arc::clone(&g2)).unwrap();
+        let via_session = session.replan().unwrap();
+
+        let scenario = Scenario::new(SystemParams::default())
+            .with_user(UserWorkload::new("a", g1))
+            .with_user(UserWorkload::new("b", g2));
+        let one_shot = Offloader::new().solve(&scenario).unwrap();
+        assert_eq!(via_session.plan, one_shot.plan);
+        assert!(
+            (via_session.evaluation.totals.objective()
+                - one_shot.evaluation.totals.objective())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn join_and_leave_bookkeeping() {
+        let mut session = OffloadSession::new(SystemParams::default());
+        assert_eq!(session.user_count(), 0);
+        session.join("a", graph(1)).unwrap();
+        session.join("b", graph(2)).unwrap();
+        assert_eq!(session.user_count(), 2);
+        assert!(session.contains("a"));
+        assert!(session.leave("a"));
+        assert!(!session.leave("a"));
+        assert_eq!(session.user_count(), 1);
+        assert!(!session.contains("a"));
+    }
+
+    #[test]
+    fn rejoin_replaces_the_workload() {
+        let mut session = OffloadSession::new(SystemParams::default());
+        session.join("a", graph(1)).unwrap();
+        let before = session.replan().unwrap();
+        // same name, different (larger) app
+        session
+            .join("a", Arc::new(NetgenSpec::new(150, 450).seed(9).generate().unwrap()))
+            .unwrap();
+        assert_eq!(session.user_count(), 1);
+        let after = session.replan().unwrap();
+        assert_ne!(before.plan[0].len(), after.plan[0].len());
+    }
+
+    #[test]
+    fn churn_changes_the_objective_monotonically() {
+        let mut session = OffloadSession::new(SystemParams::default());
+        let mut last = 0.0;
+        for i in 0..4u64 {
+            session.join(format!("u{i}"), graph(10 + i)).unwrap();
+            let obj = session.replan().unwrap().evaluation.totals.objective();
+            assert!(obj > last, "objective must grow as the crowd grows");
+            last = obj;
+        }
+        for i in 0..4u64 {
+            assert!(session.leave(&format!("u{i}")));
+            let report = session.replan().unwrap();
+            assert!(report.evaluation.totals.objective() < last);
+        }
+        assert_eq!(session.user_count(), 0);
+        assert!(session.replan().unwrap().plan.is_empty());
+    }
+
+    #[test]
+    fn replan_is_deterministic() {
+        let mut session = OffloadSession::new(SystemParams::default());
+        session.join("a", graph(3)).unwrap();
+        session.join("b", graph(4)).unwrap();
+        let x = session.replan().unwrap();
+        let y = session.replan().unwrap();
+        assert_eq!(x.plan, y.plan);
+    }
+}

@@ -1,0 +1,240 @@
+//! The persistent worker pool.
+
+use crate::metrics::Metrics;
+use crate::{EngineError, MetricsSnapshot};
+use crossbeam::channel::{unbounded, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads executing stages of tasks.
+///
+/// The cluster is the engine's only scheduling primitive: a *stage* is
+/// a batch of independent tasks; [`run_stage`](Cluster::run_stage)
+/// submits them all, waits for completion, and reassembles results in
+/// task order, so callers observe deterministic output regardless of
+/// which worker ran what.
+///
+/// Workers live until the cluster is dropped.
+#[derive(Debug)]
+pub struct Cluster {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl Cluster {
+    /// Spawns a cluster with `workers` threads.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoWorkers`] when `workers == 0`.
+    pub fn new(workers: usize) -> Result<Self, EngineError> {
+        if workers == 0 {
+            return Err(EngineError::NoWorkers);
+        }
+        let (sender, receiver) = unbounded::<Job>();
+        let metrics = Arc::new(Metrics::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("mec-engine-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("worker thread spawn failed")
+            })
+            .collect();
+        Ok(Cluster {
+            sender: Some(sender),
+            workers: handles,
+            worker_count: workers,
+            metrics,
+        })
+    }
+
+    /// Spawns a cluster sized to the machine (`available_parallelism`,
+    /// at least 2 workers).
+    pub fn with_default_parallelism() -> Result<Self, EngineError> {
+        let n = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(2)
+            .max(2);
+        Cluster::new(n)
+    }
+
+    /// Number of worker threads.
+    #[inline]
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Runs one stage: applies `f(index, input)` to every input on the
+    /// pool and returns the results in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WorkerFailed`] if any task panicked; the first
+    /// failed task index is reported.
+    pub fn run_stage<T, R>(
+        &self,
+        inputs: Vec<T>,
+        f: impl Fn(usize, T) -> R + Send + Sync + 'static,
+    ) -> Result<Vec<R>, EngineError>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+    {
+        let n = inputs.len();
+        self.metrics.record_stage();
+        if n == 0 {
+            return Ok(vec![]);
+        }
+        let f = Arc::new(f);
+        let (tx, rx) = unbounded::<(usize, Option<R>)>();
+        let sender = self
+            .sender
+            .as_ref()
+            .expect("cluster sender alive until drop");
+        for (i, input) in inputs.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            let metrics = Arc::clone(&self.metrics);
+            let job: Job = Box::new(move || {
+                let start = Instant::now();
+                let out = catch_unwind(AssertUnwindSafe(|| f(i, input))).ok();
+                metrics.record_task(start.elapsed().as_nanos() as u64);
+                // receiver may be gone if the caller bailed early
+                let _ = tx.send((i, out));
+            });
+            sender.send(job).expect("workers outlive the cluster");
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut failed: Option<usize> = None;
+        for _ in 0..n {
+            let (i, out) = rx.recv().expect("every task sends exactly once");
+            match out {
+                Some(r) => slots[i] = Some(r),
+                None => failed = Some(failed.map_or(i, |p| p.min(i))),
+            }
+        }
+        if let Some(task) = failed {
+            return Err(EngineError::WorkerFailed { task });
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Current execution counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // closing the channel lets every worker's recv() fail and exit
+        self.sender.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_workers() {
+        assert_eq!(Cluster::new(0).unwrap_err(), EngineError::NoWorkers);
+    }
+
+    #[test]
+    fn stage_results_are_in_input_order() {
+        let c = Cluster::new(4).unwrap();
+        let out = c
+            .run_stage((0..100).collect(), |i, x: i32| {
+                // jitter completion order
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                x * 2
+            })
+            .unwrap();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_stage_is_fine() {
+        let c = Cluster::new(2).unwrap();
+        let out: Vec<i32> = c.run_stage(Vec::<i32>::new(), |_, x| x).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_task_reports_failure_not_hang() {
+        let c = Cluster::new(2).unwrap();
+        let err = c
+            .run_stage(vec![1, 2, 3], |i, x: i32| {
+                if i == 1 {
+                    panic!("boom");
+                }
+                x
+            })
+            .unwrap_err();
+        assert_eq!(err, EngineError::WorkerFailed { task: 1 });
+        // cluster still works after a panic
+        let ok = c.run_stage(vec![5], |_, x: i32| x + 1).unwrap();
+        assert_eq!(ok, vec![6]);
+    }
+
+    #[test]
+    fn metrics_count_stages_and_tasks() {
+        let c = Cluster::new(2).unwrap();
+        c.run_stage(vec![1, 2, 3], |_, x: i32| x).unwrap();
+        c.run_stage(vec![1], |_, x: i32| x).unwrap();
+        let m = c.metrics();
+        assert_eq!(m.stages, 2);
+        assert_eq!(m.tasks, 4);
+    }
+
+    #[test]
+    fn default_parallelism_has_at_least_two_workers() {
+        let c = Cluster::with_default_parallelism().unwrap();
+        assert!(c.worker_count() >= 2);
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let c = Cluster::new(3).unwrap();
+        c.run_stage(vec![1, 2], |_, x: i32| x).unwrap();
+        drop(c); // must not deadlock
+    }
+
+    #[test]
+    fn stages_can_nest_across_clusters() {
+        let outer = Cluster::new(2).unwrap();
+        let out = outer
+            .run_stage(vec![10, 20], |_, x: i32| {
+                let inner = Cluster::new(2).unwrap();
+                inner
+                    .run_stage(vec![x, x + 1], |_, y: i32| y * 10)
+                    .unwrap()
+                    .into_iter()
+                    .sum::<i32>()
+            })
+            .unwrap();
+        assert_eq!(out, vec![210, 410]);
+    }
+}

@@ -1,0 +1,316 @@
+//! A partitioned dataset with Spark-style transformations.
+
+use crate::Cluster;
+use std::sync::Arc;
+
+/// An in-memory dataset split into partitions and processed in
+/// parallel on a [`Cluster`] — the engine's RDD analogue.
+///
+/// Transformations (`map`, `filter`, `zip_with`) run one task per
+/// partition; actions (`reduce`, `collect`, `count`) gather results
+/// deterministically in partition order.
+#[derive(Debug, Clone)]
+pub struct Dataset<T> {
+    cluster: Arc<Cluster>,
+    partitions: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Send + Sync + Clone + 'static> Dataset<T> {
+    /// Splits `data` into `partitions` contiguous chunks on `cluster`.
+    ///
+    /// The chunk count is clamped to at least 1 and at most
+    /// `data.len().max(1)`.
+    pub fn from_vec(cluster: Arc<Cluster>, data: Vec<T>, partitions: usize) -> Self {
+        let p = partitions.clamp(1, data.len().max(1));
+        let chunk = data.len().div_ceil(p);
+        let mut parts = Vec::with_capacity(p);
+        let mut rest = data;
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(chunk));
+            parts.push(Arc::new(rest));
+            rest = tail;
+        }
+        if parts.is_empty() {
+            parts.push(Arc::new(Vec::new()));
+        }
+        Dataset {
+            cluster,
+            partitions: parts,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of elements.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Applies `f` to every element, in parallel per partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker task panics (surfacing the underlying stage
+    /// failure).
+    pub fn map<R, F>(&self, f: F) -> Dataset<R>
+    where
+        R: Send + Sync + Clone + 'static,
+        F: Fn(&T) -> R + Send + Sync + 'static,
+    {
+        let parts = self
+            .cluster
+            .run_stage(self.partitions.clone(), move |_, p| {
+                Arc::new(p.iter().map(&f).collect::<Vec<R>>())
+            })
+            .expect("map stage failed");
+        Dataset {
+            cluster: Arc::clone(&self.cluster),
+            partitions: parts,
+        }
+    }
+
+    /// Keeps the elements satisfying `pred`, in parallel per partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker task panics.
+    pub fn filter<F>(&self, pred: F) -> Dataset<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let parts = self
+            .cluster
+            .run_stage(self.partitions.clone(), move |_, p| {
+                Arc::new(p.iter().filter(|x| pred(x)).cloned().collect::<Vec<T>>())
+            })
+            .expect("filter stage failed");
+        Dataset {
+            cluster: Arc::clone(&self.cluster),
+            partitions: parts,
+        }
+    }
+
+    /// Folds every element into `identity` with `combine`, reducing
+    /// each partition in parallel and then combining the partials in
+    /// partition order. `combine` must be associative with `identity`
+    /// as its unit for the result to be well-defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker task panics.
+    pub fn reduce<F>(&self, identity: T, combine: F) -> T
+    where
+        F: Fn(T, T) -> T + Send + Sync + Clone + 'static,
+    {
+        let id = identity.clone();
+        let c = combine.clone();
+        let partials = self
+            .cluster
+            .run_stage(self.partitions.clone(), move |_, p| {
+                p.iter().cloned().fold(id.clone(), &c)
+            })
+            .expect("reduce stage failed");
+        partials.into_iter().fold(identity, combine)
+    }
+
+    /// Applies `f` to whole partitions at once — the engine's
+    /// `mapPartitions`: useful when per-element closures would repeat
+    /// setup work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker task panics.
+    pub fn map_partitions<R, F>(&self, f: F) -> Dataset<R>
+    where
+        R: Send + Sync + Clone + 'static,
+        F: Fn(&[T]) -> Vec<R> + Send + Sync + 'static,
+    {
+        let parts = self
+            .cluster
+            .run_stage(self.partitions.clone(), move |_, p| Arc::new(f(&p)))
+            .expect("map_partitions stage failed");
+        Dataset {
+            cluster: Arc::clone(&self.cluster),
+            partitions: parts,
+        }
+    }
+
+    /// Element-wise combination with another dataset of the same
+    /// length (`zip` + `map` in one stage). Partition boundaries need
+    /// not match; the right side is re-chunked to align.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datasets have different lengths or a worker task
+    /// panics.
+    pub fn zip_with<U, R, F>(&self, other: &Dataset<U>, f: F) -> Dataset<R>
+    where
+        U: Send + Sync + Clone + 'static,
+        R: Send + Sync + Clone + 'static,
+        F: Fn(&T, &U) -> R + Send + Sync + 'static,
+    {
+        assert_eq!(self.count(), other.count(), "zip_with length mismatch");
+        // align the right side to the left's partition boundaries
+        let rhs_all: Arc<Vec<U>> = Arc::new(other.collect());
+        let mut offsets = Vec::with_capacity(self.partitions.len());
+        let mut acc = 0usize;
+        for p in &self.partitions {
+            offsets.push(acc);
+            acc += p.len();
+        }
+        let inputs: Vec<(Arc<Vec<T>>, usize)> = self
+            .partitions
+            .iter()
+            .cloned()
+            .zip(offsets)
+            .collect();
+        let parts = self
+            .cluster
+            .run_stage(inputs, move |_, (p, off)| {
+                Arc::new(
+                    p.iter()
+                        .enumerate()
+                        .map(|(i, x)| f(x, &rhs_all[off + i]))
+                        .collect::<Vec<R>>(),
+                )
+            })
+            .expect("zip_with stage failed");
+        Dataset {
+            cluster: Arc::clone(&self.cluster),
+            partitions: parts,
+        }
+    }
+
+    /// Concatenates all partitions back into one vector, in order.
+    pub fn collect(&self) -> Vec<T> {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.iter().cloned())
+            .collect()
+    }
+}
+
+impl Dataset<f64> {
+    /// Parallel sum of an `f64` dataset.
+    pub fn sum(&self) -> f64 {
+        self.reduce(0.0, |a, b| a + b)
+    }
+
+    /// Parallel maximum; `None` for an empty dataset.
+    pub fn max(&self) -> Option<f64> {
+        if self.count() == 0 {
+            return None;
+        }
+        Some(self.reduce(f64::NEG_INFINITY, f64::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Arc<Cluster> {
+        Arc::new(Cluster::new(3).unwrap())
+    }
+
+    #[test]
+    fn partitioning_is_contiguous_and_complete() {
+        let d = Dataset::from_vec(cluster(), (0..10).collect(), 3);
+        assert_eq!(d.partition_count(), 3);
+        assert_eq!(d.count(), 10);
+        assert_eq!(d.collect(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn excess_partitions_are_clamped() {
+        let d = Dataset::from_vec(cluster(), vec![1, 2], 10);
+        assert!(d.partition_count() <= 2);
+        assert_eq!(d.collect(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_dataset_works() {
+        let d: Dataset<i32> = Dataset::from_vec(cluster(), vec![], 4);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.collect(), Vec::<i32>::new());
+        assert_eq!(d.reduce(0, |a, b| a + b), 0);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let d = Dataset::from_vec(cluster(), (0..50).collect(), 7);
+        let doubled = d.map(|x| x * 2);
+        assert_eq!(doubled.collect(), (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_keeps_matching_elements_in_order() {
+        let d = Dataset::from_vec(cluster(), (0..20).collect(), 4);
+        let even = d.filter(|x| x % 2 == 0);
+        assert_eq!(even.collect(), (0..20).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(even.count(), 10);
+    }
+
+    #[test]
+    fn reduce_sums_across_partitions() {
+        let d = Dataset::from_vec(cluster(), (1..=100).collect(), 9);
+        assert_eq!(d.reduce(0, |a, b| a + b), 5050);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_chunks() {
+        let d = Dataset::from_vec(cluster(), (0..12).collect(), 4);
+        // prefix-sum inside each partition
+        let scanned = d.map_partitions(|chunk| {
+            let mut acc = 0;
+            chunk
+                .iter()
+                .map(|x| {
+                    acc += x;
+                    acc
+                })
+                .collect()
+        });
+        assert_eq!(scanned.count(), 12);
+        // the first element of each partition equals the raw value
+        let flat = scanned.collect();
+        assert_eq!(flat[0], 0);
+    }
+
+    #[test]
+    fn zip_with_combines_elementwise() {
+        let a = Dataset::from_vec(cluster(), (0..10).collect(), 3);
+        let b = Dataset::from_vec(cluster(), (0..10).map(|x| x * 10).collect(), 5);
+        let sum = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(sum.collect(), (0..10).map(|x| x * 11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "zip_with length mismatch")]
+    fn zip_with_rejects_length_mismatch() {
+        let a = Dataset::from_vec(cluster(), vec![1, 2, 3], 2);
+        let b = Dataset::from_vec(cluster(), vec![1, 2], 2);
+        let _ = a.zip_with(&b, |x, y| x + y);
+    }
+
+    #[test]
+    fn f64_helpers() {
+        let d = Dataset::from_vec(cluster(), vec![1.5, -2.0, 4.25], 2);
+        assert!((d.sum() - 3.75).abs() < 1e-12);
+        assert_eq!(d.max(), Some(4.25));
+        let empty: Dataset<f64> = Dataset::from_vec(cluster(), vec![], 2);
+        assert_eq!(empty.max(), None);
+        assert_eq!(empty.sum(), 0.0);
+    }
+
+    #[test]
+    fn chained_pipeline() {
+        let d = Dataset::from_vec(cluster(), (1..=10).collect(), 3);
+        let result = d.map(|x| x * x).filter(|x| x % 2 == 1).reduce(0, |a, b| a + b);
+        // odd squares of 1..=10: 1 + 9 + 25 + 49 + 81 = 165
+        assert_eq!(result, 165);
+    }
+}

@@ -1,0 +1,53 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when configuring or driving the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A cluster needs at least one worker.
+    NoWorkers,
+    /// A partitioned structure needs at least one partition.
+    NoPartitions,
+    /// A worker panicked while executing a task; the stage result is
+    /// unusable.
+    WorkerFailed {
+        /// Index of the failed task within its stage.
+        task: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoWorkers => f.write_str("cluster requires at least one worker"),
+            EngineError::NoPartitions => f.write_str("at least one partition is required"),
+            EngineError::WorkerFailed { task } => {
+                write!(f, "worker failed while executing task {task}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EngineError::NoWorkers.to_string(),
+            "cluster requires at least one worker"
+        );
+        assert!(EngineError::WorkerFailed { task: 3 }.to_string().contains("task 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

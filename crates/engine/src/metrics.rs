@@ -1,0 +1,71 @@
+//! Execution metrics: how much work the cluster actually did.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters shared between workers.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub(crate) stages: AtomicU64,
+    pub(crate) tasks: AtomicU64,
+    pub(crate) busy_nanos: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn record_task(&self, nanos: u64) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stage(&self) {
+        self.stages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages: self.stages.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the cluster's execution counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Stages executed since cluster start.
+    pub stages: u64,
+    /// Tasks executed since cluster start.
+    pub tasks: u64,
+    /// Cumulative wall time workers spent inside tasks, in nanoseconds.
+    pub busy_nanos: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean task duration in nanoseconds; `0` when no task ran yet.
+    pub fn mean_task_nanos(&self) -> u64 {
+        self.busy_nanos.checked_div(self.tasks).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.record_stage();
+        m.record_task(100);
+        m.record_task(300);
+        let s = m.snapshot();
+        assert_eq!(s.stages, 1);
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.busy_nanos, 400);
+        assert_eq!(s.mean_task_nanos(), 200);
+    }
+
+    #[test]
+    fn empty_snapshot_mean_is_zero() {
+        assert_eq!(MetricsSnapshot::default().mean_task_nanos(), 0);
+    }
+}

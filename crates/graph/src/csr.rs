@@ -1,0 +1,212 @@
+//! Compressed-sparse-row adjacency view.
+//!
+//! The spectral stage multiplies Laplacians against vectors thousands of
+//! times; a CSR layout gives the eigensolver cache-friendly neighbour
+//! scans without chasing per-node `Vec`s.
+
+use crate::{Graph, NodeId};
+
+/// Immutable CSR snapshot of a graph's weighted adjacency.
+///
+/// Row `i` lists `(neighbor, weight)` pairs for node `i`; each
+/// undirected edge appears in both endpoint rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrAdjacency {
+    offsets: Vec<usize>,
+    columns: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CsrAdjacency {
+    /// Builds the CSR view of `g`.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut columns = Vec::with_capacity(2 * g.edge_count());
+        let mut weights = Vec::with_capacity(2 * g.edge_count());
+        for node in g.node_ids() {
+            for nb in g.neighbors(node) {
+                columns.push(
+                    u32::try_from(nb.node.index()).expect("node index exceeds u32"),
+                );
+                weights.push(g.edge_weight(nb.edge));
+            }
+            offsets.push(columns.len());
+        }
+        CsrAdjacency {
+            offsets,
+            columns,
+            weights,
+        }
+    }
+
+    /// Number of rows (nodes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored entries (twice the edge count).
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Iterates the `(neighbor, weight)` pairs of row `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn row(&self, n: NodeId) -> impl ExactSizeIterator<Item = (NodeId, f64)> + '_ {
+        let (lo, hi) = (self.offsets[n.index()], self.offsets[n.index() + 1]);
+        self.columns[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&c, &w)| (NodeId::new(c as usize), w))
+    }
+
+    /// Sum of weights in row `n` (the weighted degree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn row_sum(&self, n: NodeId) -> f64 {
+        let (lo, hi) = (self.offsets[n.index()], self.offsets[n.index() + 1]);
+        self.weights[lo..hi].iter().sum()
+    }
+
+    /// Multiplies the weighted adjacency matrix against `x`, writing
+    /// into `y` (`y = A x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` length differs from the node count.
+    pub fn adjacency_mul(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.node_count();
+        assert_eq!(x.len(), n, "x length mismatch");
+        assert_eq!(y.len(), n, "y length mismatch");
+        for i in 0..n {
+            let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+            let mut acc = 0.0;
+            for (c, w) in self.columns[lo..hi].iter().zip(&self.weights[lo..hi]) {
+                acc += w * x[*c as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Multiplies the graph **Laplacian** `L = D − A` against `x`,
+    /// writing into `y` (`y = L x`). This is the kernel the paper's
+    /// spectral stage spends its time in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` length differs from the node count.
+    pub fn laplacian_mul(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.node_count();
+        assert_eq!(x.len(), n, "x length mismatch");
+        assert_eq!(y.len(), n, "y length mismatch");
+        for i in 0..n {
+            let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+            let mut acc = 0.0;
+            let mut deg = 0.0;
+            for (c, w) in self.columns[lo..hi].iter().zip(&self.weights[lo..hi]) {
+                acc += w * x[*c as usize];
+                deg += w;
+            }
+            y[i] = deg * x[i] - acc;
+        }
+    }
+
+    /// Raw CSR parts `(offsets, columns, weights)`, e.g. for shipping
+    /// rows to a parallel backend.
+    pub fn as_parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.offsets, &self.columns, &self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[1], n[2], 2.0).unwrap();
+        b.add_edge(n[2], n[0], 3.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency() {
+        let g = triangle();
+        let csr = CsrAdjacency::build(&g);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.entry_count(), 6);
+        let row0: Vec<_> = csr.row(NodeId::new(0)).collect();
+        assert_eq!(row0.len(), 2);
+        assert!(row0.contains(&(NodeId::new(1), 1.0)));
+        assert!(row0.contains(&(NodeId::new(2), 3.0)));
+        assert_eq!(csr.row_sum(NodeId::new(0)), 4.0);
+    }
+
+    #[test]
+    fn adjacency_mul_matches_manual() {
+        let g = triangle();
+        let csr = CsrAdjacency::build(&g);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        csr.adjacency_mul(&x, &mut y);
+        // A = [[0,1,3],[1,0,2],[3,2,0]]
+        assert_eq!(y, [1.0 * 2.0 + 3.0 * 3.0, 1.0 + 2.0 * 3.0, 3.0 + 2.0 * 2.0]);
+    }
+
+    #[test]
+    fn laplacian_mul_annihilates_constants() {
+        let g = triangle();
+        let csr = CsrAdjacency::build(&g);
+        let x = [5.0; 3];
+        let mut y = [1.0; 3];
+        csr.laplacian_mul(&x, &mut y);
+        for v in y {
+            assert!(v.abs() < 1e-12, "L * 1 must be 0, got {v}");
+        }
+    }
+
+    #[test]
+    fn laplacian_quadratic_form_equals_cut_identity() {
+        // x^T L x = sum over edges w_uv (x_u - x_v)^2
+        let g = triangle();
+        let csr = CsrAdjacency::build(&g);
+        let x = [1.0, -1.0, 2.0];
+        let mut y = [0.0; 3];
+        csr.laplacian_mul(&x, &mut y);
+        let quad: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let direct: f64 = g
+            .edges()
+            .map(|e| e.weight * (x[e.source.index()] - x[e.target.index()]).powi(2))
+            .sum();
+        assert!((quad - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_csr() {
+        let g = GraphBuilder::new().build();
+        let csr = CsrAdjacency::build(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.entry_count(), 0);
+        csr.adjacency_mul(&[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn mul_validates_dimensions() {
+        let g = triangle();
+        let csr = CsrAdjacency::build(&g);
+        let mut y = [0.0; 3];
+        csr.laplacian_mul(&[1.0], &mut y);
+    }
+}

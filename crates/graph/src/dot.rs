@@ -1,0 +1,132 @@
+//! Graphviz DOT export for debugging and documentation figures.
+
+use crate::{Bipartition, Graph, Side};
+use std::fmt::Write as _;
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// Node labels show `id:weight`; unoffloadable nodes are drawn as
+    /// boxes. Edge labels show communication weights.
+    ///
+    /// ```
+    /// use mec_graph::GraphBuilder;
+    /// # fn main() -> Result<(), mec_graph::GraphError> {
+    /// let mut b = GraphBuilder::new();
+    /// let a = b.add_node(1.0);
+    /// let c = b.add_pinned_node(2.0);
+    /// b.add_edge(a, c, 3.0)?;
+    /// let dot = b.build().to_dot("app");
+    /// assert!(dot.contains("graph app"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "graph {name} {{");
+        for n in self.node_ids() {
+            let shape = if self.is_offloadable(n) {
+                "ellipse"
+            } else {
+                "box"
+            };
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}:{:.1}\", shape={}];",
+                n.index(),
+                n.index(),
+                self.node_weight(n),
+                shape
+            );
+        }
+        for e in self.edges() {
+            let _ = writeln!(
+                out,
+                "  {} -- {} [label=\"{:.1}\"];",
+                e.source.index(),
+                e.target.index(),
+                e.weight
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the graph with a bipartition: local nodes white, remote
+    /// nodes shaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` covers fewer nodes than the graph.
+    pub fn to_dot_with_cut(&self, name: &str, cut: &Bipartition) -> String {
+        assert!(cut.len() >= self.node_count());
+        let mut out = String::new();
+        let _ = writeln!(out, "graph {name} {{");
+        for n in self.node_ids() {
+            let fill = match cut.side(n) {
+                Side::Local => "white",
+                Side::Remote => "lightblue",
+            };
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}:{:.1}\", style=filled, fillcolor={}];",
+                n.index(),
+                n.index(),
+                self.node_weight(n),
+                fill
+            );
+        }
+        for e in self.edges() {
+            let crossing = cut.side(e.source) != cut.side(e.target);
+            let style = if crossing { ", style=dashed, color=red" } else { "" };
+            let _ = writeln!(
+                out,
+                "  {} -- {} [label=\"{:.1}\"{}];",
+                e.source.index(),
+                e.target.index(),
+                e.weight,
+                style
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bipartition, GraphBuilder, Side};
+
+    #[test]
+    fn dot_output_lists_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_pinned_node(2.0);
+        b.add_edge(a, c, 3.5).unwrap();
+        let g = b.build();
+        let dot = g.to_dot("t");
+        assert!(dot.starts_with("graph t {"));
+        assert!(dot.contains("0 [label=\"0:1.0\", shape=ellipse];"));
+        assert!(dot.contains("1 [label=\"1:2.0\", shape=box];"));
+        assert!(dot.contains("0 -- 1 [label=\"3.5\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_with_cut_highlights_crossing_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(2.0);
+        let d = b.add_node(3.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(c, d, 2.0).unwrap();
+        let g = b.build();
+        let cut = Bipartition::from_sides(vec![Side::Local, Side::Local, Side::Remote]);
+        let dot = g.to_dot_with_cut("t", &cut);
+        assert!(dot.contains("fillcolor=white"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        // only edge 1-2 crosses
+        assert!(dot.contains("1 -- 2 [label=\"2.0\", style=dashed, color=red];"));
+        assert!(dot.contains("0 -- 1 [label=\"1.0\"];"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared by graph construction and queries.
+
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or querying a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a node that was never added.
+    UnknownNode(NodeId),
+    /// A self-loop was requested; function data-flow graphs model
+    /// communication *between* functions, so loops carry no meaning.
+    SelfLoop(NodeId),
+    /// A negative node or edge weight was supplied; computation and
+    /// communication amounts are non-negative quantities.
+    NegativeWeight(f64),
+    /// A non-finite (NaN / infinite) weight was supplied.
+    NonFiniteWeight(f64),
+    /// A parallel edge was rejected under
+    /// [`ParallelEdgePolicy::Reject`](crate::ParallelEdgePolicy).
+    ParallelEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::NegativeWeight(w) => write!(f, "negative weight {w} is not allowed"),
+            GraphError::NonFiniteWeight(w) => write!(f, "non-finite weight {w} is not allowed"),
+            GraphError::ParallelEdge(a, b) => {
+                write!(f, "parallel edge between {a} and {b} rejected by policy")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            GraphError::UnknownNode(NodeId::new(3)).to_string(),
+            GraphError::SelfLoop(NodeId::new(1)).to_string(),
+            GraphError::NegativeWeight(-2.0).to_string(),
+            GraphError::NonFiniteWeight(f64::NAN).to_string(),
+            GraphError::ParallelEdge(NodeId::new(0), NodeId::new(1)).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

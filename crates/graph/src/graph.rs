@@ -1,0 +1,465 @@
+//! The weighted undirected function data-flow graph.
+
+use crate::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One endpoint-adjacency entry: the neighbouring node together with the
+/// edge that connects to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NeighborRef {
+    /// The adjacent node.
+    pub node: NodeId,
+    /// The undirected edge joining the two nodes.
+    pub edge: EdgeId,
+}
+
+/// A borrowed view of an edge: its id, endpoints and weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// Edge id inside the owning graph.
+    pub id: EdgeId,
+    /// First endpoint (lower insertion order).
+    pub source: NodeId,
+    /// Second endpoint.
+    pub target: NodeId,
+    /// Communication amount carried by the edge.
+    pub weight: f64,
+}
+
+impl EdgeRef {
+    /// Returns the endpoint opposite to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.source {
+            self.target
+        } else if n == self.target {
+            self.source
+        } else {
+            panic!("{n} is not an endpoint of edge {}", self.id)
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct EdgeData {
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    pub(crate) weight: f64,
+}
+
+/// A weighted, undirected function data-flow graph (paper §II).
+///
+/// *Nodes* are functions carrying a non-negative computation weight and
+/// an *offloadable* flag (functions reading sensors or local I/O must
+/// run on the device — paper §II calls them "unoffloaded functions").
+/// *Edges* carry the amount of data exchanged between the two functions.
+///
+/// Graphs are constructed through [`GraphBuilder`](crate::GraphBuilder),
+/// which validates weights and edge endpoints; once built, the structure
+/// is immutable except for node weights and offloadability flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "GraphRepr", into = "GraphRepr")]
+pub struct Graph {
+    node_weights: Vec<f64>,
+    offloadable: Vec<bool>,
+    edges: Vec<EdgeData>,
+    adjacency: Vec<Vec<NeighborRef>>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        node_weights: Vec<f64>,
+        offloadable: Vec<bool>,
+        edges: Vec<EdgeData>,
+    ) -> Self {
+        debug_assert_eq!(node_weights.len(), offloadable.len());
+        let mut adjacency = vec![Vec::new(); node_weights.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId::new(i);
+            adjacency[e.a.index()].push(NeighborRef { node: e.b, edge: id });
+            adjacency[e.b.index()].push(NeighborRef { node: e.a, edge: id });
+        }
+        Graph {
+            node_weights,
+            offloadable,
+            edges,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes (functions).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_weights.is_empty()
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates over all edges as [`EdgeRef`] views, in insertion order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeRef> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| EdgeRef {
+            id: EdgeId::new(i),
+            source: e.a,
+            target: e.b,
+            weight: e.weight,
+        })
+    }
+
+    /// Returns the computation weight of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    #[inline]
+    pub fn node_weight(&self, n: NodeId) -> f64 {
+        self.node_weights[n.index()]
+    }
+
+    /// Overwrites the computation weight of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds or `weight` is negative/non-finite.
+    pub fn set_node_weight(&mut self, n: NodeId, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "node weight must be finite and non-negative, got {weight}"
+        );
+        self.node_weights[n.index()] = weight;
+    }
+
+    /// `true` if function `n` may be offloaded to the edge server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    #[inline]
+    pub fn is_offloadable(&self, n: NodeId) -> bool {
+        self.offloadable[n.index()]
+    }
+
+    /// Marks function `n` as offloadable (`true`) or pinned to the
+    /// device (`false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn set_offloadable(&mut self, n: NodeId, offloadable: bool) {
+        self.offloadable[n.index()] = offloadable;
+    }
+
+    /// Returns the communication weight of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn edge_weight(&self, e: EdgeId) -> f64 {
+        self.edges[e.index()].weight
+    }
+
+    /// Returns both endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let d = &self.edges[e.index()];
+        (d.a, d.b)
+    }
+
+    /// Iterates over the neighbours of node `n` (with the connecting
+    /// edge), in edge-insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn neighbors(&self, n: NodeId) -> impl ExactSizeIterator<Item = NeighborRef> + '_ {
+        self.adjacency[n.index()].iter().copied()
+    }
+
+    /// Number of edges incident to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// Sum of weights of the edges incident to `n` (the node's
+    /// *coupling volume* — the paper uses edge weight as the coupling
+    /// degree between two functions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn weighted_degree(&self, n: NodeId) -> f64 {
+        self.adjacency[n.index()]
+            .iter()
+            .map(|nb| self.edge_weight(nb.edge))
+            .sum()
+    }
+
+    /// Total computation weight over all nodes.
+    pub fn total_node_weight(&self) -> f64 {
+        self.node_weights.iter().sum()
+    }
+
+    /// Total communication weight over all edges.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Looks up the edge joining `a` and `b`, if any.
+    ///
+    /// Scans the shorter of the two adjacency lists, so this is
+    /// `O(min(deg(a), deg(b)))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of bounds.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        let (probe, goal) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adjacency[probe.index()]
+            .iter()
+            .find(|nb| nb.node == goal)
+            .map(|nb| nb.edge)
+    }
+
+    /// The node with the largest degree, breaking ties by lowest id;
+    /// `None` for an empty graph. The paper's label propagation starts
+    /// from this node (§III-A "Label initialization and propagation").
+    pub fn max_degree_node(&self) -> Option<NodeId> {
+        (0..self.node_count())
+            .max_by(|&a, &b| {
+                self.adjacency[a]
+                    .len()
+                    .cmp(&self.adjacency[b].len())
+                    .then(b.cmp(&a))
+            })
+            .map(NodeId::new)
+    }
+
+    /// `true` when every node is reachable from every other (or the
+    /// graph is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let labeling = crate::components::ComponentLabeling::compute(self);
+        labeling.count() == 1
+    }
+
+    /// Validates internal invariants; used by tests and debug builds.
+    ///
+    /// Returns a description of the first violated invariant, if any.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.node_weights.len() != self.offloadable.len() {
+            return Err("node weight / offloadable length mismatch".into());
+        }
+        if self.adjacency.len() != self.node_weights.len() {
+            return Err("adjacency length mismatch".into());
+        }
+        let mut seen = vec![0usize; self.node_count()];
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.a.index() >= self.node_count() || e.b.index() >= self.node_count() {
+                return Err(format!("edge {i} has out-of-range endpoint"));
+            }
+            if e.a == e.b {
+                return Err(format!("edge {i} is a self-loop"));
+            }
+            if !e.weight.is_finite() || e.weight < 0.0 {
+                return Err(format!("edge {i} has invalid weight {}", e.weight));
+            }
+            seen[e.a.index()] += 1;
+            seen[e.b.index()] += 1;
+        }
+        for (n, adj) in self.adjacency.iter().enumerate() {
+            if adj.len() != seen[n] {
+                return Err(format!("adjacency list of node {n} is inconsistent"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serialisable mirror of [`Graph`] — node arrays plus the edge list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GraphRepr {
+    node_weights: Vec<f64>,
+    offloadable: Vec<bool>,
+    edges: Vec<EdgeData>,
+}
+
+impl From<GraphRepr> for Graph {
+    fn from(r: GraphRepr) -> Self {
+        Graph::from_parts(r.node_weights, r.offloadable, r.edges)
+    }
+}
+
+impl From<Graph> for GraphRepr {
+    fn from(g: Graph) -> Self {
+        GraphRepr {
+            node_weights: g.node_weights,
+            offloadable: g.offloadable,
+            edges: g.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphBuilder, NodeId};
+
+    fn diamond() -> crate::Graph {
+        // 0 - 1
+        // | X |   (0-1, 0-2, 1-2, 1-3, 2-3)
+        // 2 - 3
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.add_node(i as f64 + 1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[0], n[2], 2.0).unwrap();
+        b.add_edge(n[1], n[2], 3.0).unwrap();
+        b.add_edge(n[1], n[3], 4.0).unwrap();
+        b.add_edge(n[2], n[3], 5.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_totals() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.total_node_weight(), 10.0);
+        assert_eq!(g.total_edge_weight(), 15.0);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn degrees_and_weighted_degrees() {
+        let g = diamond();
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 3);
+        assert_eq!(g.weighted_degree(NodeId::new(3)), 9.0);
+        assert_eq!(g.weighted_degree(NodeId::new(0)), 3.0);
+    }
+
+    #[test]
+    fn edge_between_finds_edges_both_ways() {
+        let g = diamond();
+        let e = g.edge_between(NodeId::new(1), NodeId::new(3)).unwrap();
+        assert_eq!(g.edge_weight(e), 4.0);
+        let e2 = g.edge_between(NodeId::new(3), NodeId::new(1)).unwrap();
+        assert_eq!(e, e2);
+        assert!(g.edge_between(NodeId::new(0), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn neighbors_cover_all_incident_edges() {
+        let g = diamond();
+        let nbrs: Vec<_> = g.neighbors(NodeId::new(1)).map(|nb| nb.node).collect();
+        assert_eq!(nbrs.len(), 3);
+        for n in [0, 2, 3] {
+            assert!(nbrs.contains(&NodeId::new(n)));
+        }
+    }
+
+    #[test]
+    fn edge_ref_other_endpoint() {
+        let g = diamond();
+        let e = g.edges().next().unwrap();
+        assert_eq!(e.other(e.source), e.target);
+        assert_eq!(e.other(e.target), e.source);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn edge_ref_other_panics_on_foreign_node() {
+        let g = diamond();
+        let e = g.edges().next().unwrap();
+        let _ = e.other(NodeId::new(3));
+    }
+
+    #[test]
+    fn max_degree_node_prefers_lowest_id_on_tie() {
+        let g = diamond();
+        // nodes 1 and 2 both have degree 3; expect node 1.
+        assert_eq!(g.max_degree_node(), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = diamond();
+        assert!(g.is_connected());
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(1.0);
+        let g2 = b.build();
+        assert!(!g2.is_connected());
+        let empty = GraphBuilder::new().build();
+        assert!(empty.is_connected());
+    }
+
+    #[test]
+    fn mutation_of_node_attributes() {
+        let mut g = diamond();
+        g.set_node_weight(NodeId::new(0), 7.5);
+        assert_eq!(g.node_weight(NodeId::new(0)), 7.5);
+        assert!(g.is_offloadable(NodeId::new(0)));
+        g.set_offloadable(NodeId::new(0), false);
+        assert!(!g.is_offloadable(NodeId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "node weight must be finite")]
+    fn set_node_weight_rejects_nan() {
+        let mut g = diamond();
+        g.set_node_weight(NodeId::new(0), f64::NAN);
+    }
+
+    #[test]
+    fn invariants_hold_for_builder_output() {
+        assert_eq!(diamond().check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: crate::Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(back.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn graph_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Graph>();
+    }
+}

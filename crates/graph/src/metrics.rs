@@ -1,0 +1,263 @@
+//! Structural metrics over function data-flow graphs.
+//!
+//! Used by the workload generator's validation (does the synthetic
+//! graph actually look like a modular mobile application?), by
+//! experiment reports, and by downstream users sizing their inputs.
+
+use crate::{Graph, NodeGrouping, NodeId};
+
+/// Summary statistics of a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistributionSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl DistributionSummary {
+    /// Summarises `values`; all-zero for an empty input.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let vals: Vec<f64> = values.into_iter().collect();
+        if vals.is_empty() {
+            return DistributionSummary::default();
+        }
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &vals {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        DistributionSummary {
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+impl Graph {
+    /// Edge density: `m / (n·(n−1)/2)`, `0` for graphs with < 2 nodes.
+    pub fn density(&self) -> f64 {
+        let n = self.node_count();
+        if n < 2 {
+            return 0.0;
+        }
+        self.edge_count() as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    /// Summary of the (unweighted) degree distribution.
+    pub fn degree_summary(&self) -> DistributionSummary {
+        DistributionSummary::of(self.node_ids().map(|n| self.degree(n) as f64))
+    }
+
+    /// Summary of the edge-weight distribution.
+    pub fn edge_weight_summary(&self) -> DistributionSummary {
+        DistributionSummary::of(self.edges().map(|e| e.weight))
+    }
+
+    /// Summary of the node (computation) weight distribution.
+    pub fn node_weight_summary(&self) -> DistributionSummary {
+        DistributionSummary::of(self.node_ids().map(|n| self.node_weight(n)))
+    }
+
+    /// Global (transitivity-style) clustering coefficient:
+    /// `3 × triangles / open triads`, ignoring weights. `0` when no
+    /// triad exists.
+    pub fn clustering_coefficient(&self) -> f64 {
+        let n = self.node_count();
+        // adjacency sets for O(deg) membership tests
+        let mut neigh: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in self.edges() {
+            neigh[e.source.index()].push(e.target.index());
+            neigh[e.target.index()].push(e.source.index());
+        }
+        for l in &mut neigh {
+            l.sort_unstable();
+        }
+        let mut triangles = 0usize; // each counted 3× (once per vertex pair order)
+        let mut triads = 0usize;
+        for v in 0..n {
+            let d = neigh[v].len();
+            triads += d * d.saturating_sub(1) / 2;
+            for (i, &a) in neigh[v].iter().enumerate() {
+                for &b in &neigh[v][i + 1..] {
+                    if neigh[a].binary_search(&b).is_ok() {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        if triads == 0 {
+            0.0
+        } else {
+            triangles as f64 / triads as f64
+        }
+    }
+
+    /// Weighted Newman modularity of a node grouping:
+    /// `Q = Σ_c (w_in(c)/W − (vol(c)/2W)²)` with `W` the total edge
+    /// weight. Positive values mean the grouping captures real
+    /// community structure; `0` for an edgeless graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grouping` does not cover exactly this graph's nodes.
+    pub fn modularity(&self, grouping: &NodeGrouping) -> f64 {
+        assert_eq!(
+            grouping.node_count(),
+            self.node_count(),
+            "grouping covers {} nodes but graph has {}",
+            grouping.node_count(),
+            self.node_count()
+        );
+        let total = self.total_edge_weight();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let k = grouping.group_count();
+        let mut internal = vec![0.0f64; k];
+        let mut volume = vec![0.0f64; k];
+        for e in self.edges() {
+            let (ga, gb) = (grouping.group_of(e.source), grouping.group_of(e.target));
+            volume[ga] += e.weight;
+            volume[gb] += e.weight;
+            if ga == gb {
+                internal[ga] += e.weight;
+            }
+        }
+        (0..k)
+            .map(|c| internal[c] / total - (volume[c] / (2.0 * total)).powi(2))
+            .sum()
+    }
+
+    /// The fraction of total edge weight incident to unoffloadable
+    /// nodes — how device-bound the application's communication is.
+    pub fn pinned_coupling_fraction(&self) -> f64 {
+        let total = self.total_edge_weight();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let pinned: f64 = self
+            .edges()
+            .filter(|e| !self.is_offloadable(e.source) || !self.is_offloadable(e.target))
+            .map(|e| e.weight)
+            .sum();
+        pinned / total
+    }
+
+    /// The node maximising `f`; ties go to the smaller id. `None` on an
+    /// empty graph.
+    pub fn argmax_node(&self, mut f: impl FnMut(NodeId) -> f64) -> Option<NodeId> {
+        self.node_ids().fold(None, |best, n| {
+            let v = f(n);
+            match best {
+                Some((_, bv)) if bv >= v => best,
+                _ => Some((n, v)),
+            }
+        })
+        .map(|(n, _)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.add_node(i as f64 + 1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[1], n[2], 2.0).unwrap();
+        b.add_edge(n[2], n[0], 3.0).unwrap();
+        b.add_edge(n[2], n[3], 4.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn distribution_summary_basics() {
+        let s = DistributionSummary::of([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(DistributionSummary::of([]), DistributionSummary::default());
+    }
+
+    #[test]
+    fn density_and_degree() {
+        let g = triangle_plus_tail();
+        assert!((g.density() - 4.0 / 6.0).abs() < 1e-12);
+        let d = g.degree_summary();
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 3.0);
+        assert_eq!(d.mean, 2.0);
+    }
+
+    #[test]
+    fn clustering_counts_the_triangle() {
+        let g = triangle_plus_tail();
+        // triangles (counted per centre vertex): 3; triads: 1+1+3+0 = 5
+        assert!((g.clustering_coefficient() - 3.0 / 5.0).abs() < 1e-12);
+        // a path has no triangles
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[1], n[2], 1.0).unwrap();
+        assert_eq!(b.build().clustering_coefficient(), 0.0);
+    }
+
+    #[test]
+    fn modularity_prefers_true_communities() {
+        // two heavy triangles bridged by one light edge
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node(1.0)).collect();
+        for (a, c) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(n[a], n[c], 10.0).unwrap();
+        }
+        b.add_edge(n[2], n[3], 1.0).unwrap();
+        let g = b.build();
+        let good = NodeGrouping::from_raw(&[0, 0, 0, 1, 1, 1]);
+        let bad = NodeGrouping::from_raw(&[0, 1, 0, 1, 0, 1]);
+        let all_one = NodeGrouping::from_raw(&[0; 6]);
+        assert!(g.modularity(&good) > 0.3);
+        assert!(g.modularity(&good) > g.modularity(&bad));
+        assert!(g.modularity(&all_one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_coupling_fraction() {
+        let mut b = GraphBuilder::new();
+        let p = b.add_pinned_node(1.0);
+        let x = b.add_node(1.0);
+        let y = b.add_node(1.0);
+        b.add_edge(p, x, 3.0).unwrap();
+        b.add_edge(x, y, 7.0).unwrap();
+        let g = b.build();
+        assert!((g.pinned_coupling_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_node_breaks_ties_low() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.argmax_node(|n| g.node_weight(n)), Some(NodeId::new(3)));
+        assert_eq!(g.argmax_node(|_| 1.0), Some(NodeId::new(0)));
+        assert_eq!(GraphBuilder::new().build().argmax_node(|_| 0.0), None);
+    }
+
+    #[test]
+    fn empty_graph_metrics_are_zero() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.density(), 0.0);
+        assert_eq!(g.clustering_coefficient(), 0.0);
+        assert_eq!(g.pinned_coupling_fraction(), 0.0);
+    }
+}

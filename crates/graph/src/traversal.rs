@@ -1,0 +1,128 @@
+//! Breadth-first traversal utilities.
+//!
+//! Used by the max-flow baseline's terminal selection (farthest node
+//! from the hub) and handy for workload diagnostics (eccentricity,
+//! reachability).
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+impl Graph {
+    /// Hop distances from `start` to every node; `None` for
+    /// unreachable nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of bounds.
+    pub fn bfs_distances(&self, start: NodeId) -> Vec<Option<u32>> {
+        let n = self.node_count();
+        assert!(start.index() < n, "start node out of bounds");
+        let mut dist = vec![None; n];
+        dist[start.index()] = Some(0);
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("queued nodes have distances");
+            for nb in self.neighbors(u) {
+                if dist[nb.node.index()].is_none() {
+                    dist[nb.node.index()] = Some(du + 1);
+                    queue.push_back(nb.node);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Nodes in BFS order from `start`; unreachable nodes appended
+    /// after in id order, so the last entry is always a farthest (or
+    /// disconnected) node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of bounds.
+    pub fn bfs_order(&self, start: NodeId) -> Vec<NodeId> {
+        let n = self.node_count();
+        assert!(start.index() < n, "start node out of bounds");
+        let mut seen = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        seen[start.index()] = true;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for nb in self.neighbors(u) {
+                if !seen[nb.node.index()] {
+                    seen[nb.node.index()] = true;
+                    queue.push_back(nb.node);
+                }
+            }
+        }
+        for i in 0..n {
+            if !seen[i] {
+                order.push(NodeId::new(i));
+            }
+        }
+        order
+    }
+
+    /// Eccentricity of `start`: the largest hop distance to any
+    /// reachable node (`0` for an isolated node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of bounds.
+    pub fn eccentricity(&self, start: NodeId) -> u32 {
+        self.bfs_distances(start)
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_with_isolate() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..5).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[1], n[2], 1.0).unwrap();
+        b.add_edge(n[2], n[3], 1.0).unwrap();
+        // node 4 isolated
+        b.build()
+    }
+
+    #[test]
+    fn distances_follow_hops() {
+        let g = path_with_isolate();
+        let d = g.bfs_distances(NodeId::new(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn order_covers_all_nodes_reachable_first() {
+        let g = path_with_isolate();
+        let order = g.bfs_order(NodeId::new(1));
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], NodeId::new(1));
+        assert_eq!(*order.last().unwrap(), NodeId::new(4)); // unreachable last
+    }
+
+    #[test]
+    fn eccentricity_of_path_ends() {
+        let g = path_with_isolate();
+        assert_eq!(g.eccentricity(NodeId::new(0)), 3);
+        assert_eq!(g.eccentricity(NodeId::new(1)), 2);
+        assert_eq!(g.eccentricity(NodeId::new(4)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start node out of bounds")]
+    fn start_is_validated() {
+        let g = path_with_isolate();
+        let _ = g.bfs_distances(NodeId::new(9));
+    }
+}

@@ -1,0 +1,184 @@
+//! Compression tuning parameters.
+
+use mec_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// How the label-carrying weight threshold `w` is chosen per sub-graph.
+///
+/// The paper fixes "a weight threshold w" but leaves its value open;
+/// an absolute value only suits one workload scale, so the default is
+/// relative to the sub-graph's mean edge weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdRule {
+    /// Use this exact value for every sub-graph.
+    Absolute(f64),
+    /// `w = factor × mean edge weight` of the sub-graph.
+    MeanFactor(f64),
+    /// `w =` the `q`-quantile (0–1) of the sub-graph's edge weights —
+    /// e.g. `Quantile(0.75)` lets the heaviest quarter of edges carry
+    /// labels.
+    Quantile(f64),
+}
+
+impl ThresholdRule {
+    /// Resolves the rule against a concrete sub-graph.
+    ///
+    /// Returns `f64::INFINITY` for an edgeless graph (no edge can carry
+    /// a label).
+    pub fn resolve(&self, g: &Graph) -> f64 {
+        if g.edge_count() == 0 {
+            return f64::INFINITY;
+        }
+        match *self {
+            ThresholdRule::Absolute(w) => w,
+            ThresholdRule::MeanFactor(f) => {
+                f * g.total_edge_weight() / g.edge_count() as f64
+            }
+            ThresholdRule::Quantile(q) => {
+                let mut ws: Vec<f64> = g.edges().map(|e| e.weight).collect();
+                ws.sort_by(|a, b| a.partial_cmp(b).expect("weights are finite"));
+                let idx = ((ws.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+                ws[idx]
+            }
+        }
+    }
+}
+
+impl Default for ThresholdRule {
+    fn default() -> Self {
+        ThresholdRule::MeanFactor(1.5)
+    }
+}
+
+/// Order in which a propagation round visits nodes — the paper allows
+/// "depth-first or breadth-first policies".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraversalPolicy {
+    /// Breadth-first from the starter (default).
+    #[default]
+    Bfs,
+    /// Depth-first from the starter.
+    Dfs,
+}
+
+/// Full configuration of the compression stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionConfig {
+    /// Rule producing the label-carrying weight threshold `w`.
+    pub threshold: ThresholdRule,
+    /// `α_t`: stop when the fraction of nodes whose label changed in a
+    /// round drops to this or below. Default `0.05`.
+    pub alpha_threshold: f64,
+    /// `β_t`: hard cap on propagation rounds. Default `50`.
+    pub max_rounds: usize,
+    /// Node visiting order within a round.
+    pub policy: TraversalPolicy,
+    /// Process sub-graphs on parallel threads (Algorithm 1 spawns one
+    /// process per sub-graph). Results are identical either way.
+    pub parallel: bool,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        CompressionConfig {
+            threshold: ThresholdRule::default(),
+            alpha_threshold: 0.05,
+            max_rounds: 50,
+            policy: TraversalPolicy::default(),
+            parallel: true,
+        }
+    }
+}
+
+impl CompressionConfig {
+    /// Default configuration (same as [`Default::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the threshold rule.
+    pub fn threshold(mut self, rule: ThresholdRule) -> Self {
+        self.threshold = rule;
+        self
+    }
+
+    /// Sets `α_t`, clamped to `[0, 1]`.
+    pub fn alpha_threshold(mut self, a: f64) -> Self {
+        self.alpha_threshold = a.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets `β_t` (at least 1).
+    pub fn max_rounds(mut self, r: usize) -> Self {
+        self.max_rounds = r.max(1);
+        self
+    }
+
+    /// Sets the traversal policy.
+    pub fn policy(mut self, p: TraversalPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Enables or disables per-sub-graph threading.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::GraphBuilder;
+
+    fn weighted_path() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[1], n[2], 2.0).unwrap();
+        b.add_edge(n[2], n[3], 9.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn absolute_rule_passes_through() {
+        assert_eq!(ThresholdRule::Absolute(3.5).resolve(&weighted_path()), 3.5);
+    }
+
+    #[test]
+    fn mean_factor_rule() {
+        // mean = 4.0; factor 1.5 → 6.0
+        let w = ThresholdRule::MeanFactor(1.5).resolve(&weighted_path());
+        assert!((w - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rule() {
+        let g = weighted_path();
+        assert_eq!(ThresholdRule::Quantile(0.0).resolve(&g), 1.0);
+        assert_eq!(ThresholdRule::Quantile(1.0).resolve(&g), 9.0);
+        assert_eq!(ThresholdRule::Quantile(0.5).resolve(&g), 2.0);
+    }
+
+    #[test]
+    fn edgeless_graph_yields_infinite_threshold() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        let g = b.build();
+        assert_eq!(ThresholdRule::default().resolve(&g), f64::INFINITY);
+    }
+
+    #[test]
+    fn builder_clamps() {
+        let c = CompressionConfig::new()
+            .alpha_threshold(2.0)
+            .max_rounds(0)
+            .policy(TraversalPolicy::Dfs)
+            .parallel(false);
+        assert_eq!(c.alpha_threshold, 1.0);
+        assert_eq!(c.max_rounds, 1);
+        assert_eq!(c.policy, TraversalPolicy::Dfs);
+        assert!(!c.parallel);
+    }
+}

@@ -1,0 +1,284 @@
+//! The label-propagation process itself.
+
+use crate::{CompressionConfig, TraversalPolicy};
+use mec_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Result of running label propagation on one sub-graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelingOutcome {
+    /// Final label of each node (dense node index → label).
+    pub labels: Vec<usize>,
+    /// Propagation rounds executed (the initial sweep counts as round
+    /// 1).
+    pub rounds: usize,
+    /// The resolved weight threshold `w` used by the label rule.
+    pub threshold: f64,
+}
+
+impl LabelingOutcome {
+    /// Number of distinct labels in the outcome.
+    pub fn label_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.labels.iter().for_each(|&l| {
+            seen.insert(l);
+        });
+        seen.len()
+    }
+}
+
+/// Computes the node visiting order: starting from the max-degree node
+/// of each unvisited region, BFS or DFS across *all* edges (the
+/// traversal carries labels only across heavy edges, but must reach
+/// every node).
+fn visit_order(g: &Graph, policy: TraversalPolicy) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    // candidate starters sorted by (degree desc, id asc)
+    let mut starters: Vec<usize> = (0..n).collect();
+    starters.sort_by(|&a, &b| {
+        g.degree(NodeId::new(b))
+            .cmp(&g.degree(NodeId::new(a)))
+            .then(a.cmp(&b))
+    });
+    for s in starters {
+        if seen[s] {
+            continue;
+        }
+        seen[s] = true;
+        match policy {
+            TraversalPolicy::Bfs => {
+                let mut queue = std::collections::VecDeque::from([NodeId::new(s)]);
+                while let Some(u) = queue.pop_front() {
+                    order.push(u);
+                    // deterministic neighbour order: adjacency insertion order
+                    for nb in g.neighbors(u) {
+                        if !seen[nb.node.index()] {
+                            seen[nb.node.index()] = true;
+                            queue.push_back(nb.node);
+                        }
+                    }
+                }
+            }
+            TraversalPolicy::Dfs => {
+                let mut stack = vec![NodeId::new(s)];
+                while let Some(u) = stack.pop() {
+                    order.push(u);
+                    for nb in g.neighbors(u) {
+                        if !seen[nb.node.index()] {
+                            seen[nb.node.index()] = true;
+                            stack.push(nb.node);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Runs the paper's label rule on `g`:
+///
+/// - the max-degree node starts with label 0;
+/// - during the initial sweep an edge heavier than `w` carries the
+///   current label to an unlabelled neighbour, a lighter edge mints a
+///   fresh label (§III-A "Label initialization and propagation");
+/// - subsequent rounds re-visit every node and let it adopt the label
+///   with the greatest total *heavy* incident weight;
+/// - rounds stop when the update rate `α ≤ α_t` or after `β_t` rounds
+///   (§III-A "End of propagation").
+///
+/// Deterministic: ties break toward the smaller label.
+pub fn propagate_labels(g: &Graph, config: &CompressionConfig) -> LabelingOutcome {
+    let n = g.node_count();
+    let threshold = config.threshold.resolve(g);
+    if n == 0 {
+        return LabelingOutcome {
+            labels: vec![],
+            rounds: 0,
+            threshold,
+        };
+    }
+    let order = visit_order(g, config.policy);
+    debug_assert_eq!(order.len(), n);
+
+    const UNLABELED: usize = usize::MAX;
+    let mut labels = vec![UNLABELED; n];
+    let mut next_label = 0usize;
+
+    // round 1: initial sweep
+    for &u in &order {
+        if labels[u.index()] == UNLABELED {
+            labels[u.index()] = next_label;
+            next_label += 1;
+        }
+        let lu = labels[u.index()];
+        for nb in g.neighbors(u) {
+            if labels[nb.node.index()] == UNLABELED {
+                if g.edge_weight(nb.edge) > threshold {
+                    labels[nb.node.index()] = lu;
+                } else {
+                    labels[nb.node.index()] = next_label;
+                    next_label += 1;
+                }
+            }
+        }
+    }
+    let mut rounds = 1usize;
+
+    // refinement rounds: adopt the heaviest-coupled neighbouring label
+    while rounds < config.max_rounds {
+        let mut updates = 0usize;
+        for &u in &order {
+            let mut scores: HashMap<usize, f64> = HashMap::new();
+            for nb in g.neighbors(u) {
+                let w = g.edge_weight(nb.edge);
+                if w > threshold {
+                    *scores.entry(labels[nb.node.index()]).or_insert(0.0) += w;
+                }
+            }
+            if scores.is_empty() {
+                continue;
+            }
+            let current = labels[u.index()];
+            let best = scores
+                .iter()
+                .max_by(|(la, wa), (lb, wb)| {
+                    wa.partial_cmp(wb)
+                        .expect("weights are finite")
+                        .then(lb.cmp(la))
+                })
+                .map(|(&l, _)| l)
+                .expect("scores is non-empty");
+            if best != current {
+                labels[u.index()] = best;
+                updates += 1;
+            }
+        }
+        rounds += 1;
+        let alpha = updates as f64 / n as f64;
+        if alpha <= config.alpha_threshold {
+            break;
+        }
+    }
+
+    LabelingOutcome {
+        labels,
+        rounds,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThresholdRule;
+    use mec_graph::GraphBuilder;
+
+    /// Two heavy triangles joined by one light edge.
+    fn dumbbell() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node(1.0)).collect();
+        for (a, c) in [(0, 1), (1, 2), (2, 0)] {
+            b.add_edge(n[a], n[c], 10.0).unwrap();
+        }
+        for (a, c) in [(3, 4), (4, 5), (5, 3)] {
+            b.add_edge(n[a], n[c], 10.0).unwrap();
+        }
+        b.add_edge(n[2], n[3], 1.0).unwrap();
+        b.build()
+    }
+
+    fn config_abs(w: f64) -> CompressionConfig {
+        CompressionConfig::new().threshold(ThresholdRule::Absolute(w))
+    }
+
+    #[test]
+    fn heavy_clusters_share_labels_across_light_bridge() {
+        let g = dumbbell();
+        let out = propagate_labels(&g, &config_abs(5.0));
+        // each triangle collapses to one label; bridge keeps them apart
+        assert_eq!(out.labels[0], out.labels[1]);
+        assert_eq!(out.labels[1], out.labels[2]);
+        assert_eq!(out.labels[3], out.labels[4]);
+        assert_eq!(out.labels[4], out.labels[5]);
+        assert_ne!(out.labels[0], out.labels[3]);
+        assert_eq!(out.label_count(), 2);
+    }
+
+    #[test]
+    fn infinite_threshold_gives_every_node_its_own_label() {
+        let g = dumbbell();
+        let out = propagate_labels(&g, &config_abs(f64::INFINITY));
+        assert_eq!(out.label_count(), 6);
+    }
+
+    #[test]
+    fn zero_threshold_merges_connected_graph() {
+        let g = dumbbell();
+        let out = propagate_labels(&g, &config_abs(0.0));
+        assert_eq!(out.label_count(), 1);
+    }
+
+    #[test]
+    fn bfs_and_dfs_agree_on_clear_clusters() {
+        let g = dumbbell();
+        let bfs = propagate_labels(&g, &config_abs(5.0).policy(TraversalPolicy::Bfs));
+        let dfs = propagate_labels(&g, &config_abs(5.0).policy(TraversalPolicy::Dfs));
+        // same partition, possibly different label names
+        let canon = |ls: &[usize]| {
+            let mut map = HashMap::new();
+            ls.iter()
+                .map(|l| {
+                    let next = map.len();
+                    *map.entry(*l).or_insert(next)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(canon(&bfs.labels), canon(&dfs.labels));
+    }
+
+    #[test]
+    fn rounds_respect_beta_cap() {
+        let g = dumbbell();
+        let out = propagate_labels(&g, &config_abs(5.0).max_rounds(1));
+        assert_eq!(out.rounds, 1);
+        let out2 = propagate_labels(&g, &config_abs(5.0).max_rounds(50));
+        assert!(out2.rounds <= 50);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let out = propagate_labels(&g, &CompressionConfig::default());
+        assert!(out.labels.is_empty());
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn isolated_nodes_get_distinct_labels() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(1.0);
+        b.add_node(1.0);
+        let out = propagate_labels(&b.build(), &CompressionConfig::default());
+        assert_eq!(out.label_count(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = dumbbell();
+        let a = propagate_labels(&g, &CompressionConfig::default());
+        let b = propagate_labels(&g, &CompressionConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn visit_order_starts_at_max_degree() {
+        let g = dumbbell(); // node 2 and 3 have degree 3
+        let order = visit_order(&g, TraversalPolicy::Bfs);
+        assert_eq!(order[0], NodeId::new(2));
+        assert_eq!(order.len(), 6);
+    }
+}

@@ -1,0 +1,194 @@
+//! Conjugate-gradient solver for symmetric positive-(semi)definite
+//! systems.
+//!
+//! Used for inverse-iteration refinement of eigenpairs and as an
+//! additional workload for the parallel engine benchmarks.
+
+use crate::vector::{axpy, dot, norm};
+use crate::{LinalgError, SymOp};
+
+/// Result of a conjugate-gradient solve.
+#[derive(Debug, Clone)]
+pub struct CgOutcome {
+    /// The (approximate) solution.
+    pub solution: Vec<f64>,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖₂`.
+    pub residual: f64,
+}
+
+/// Conjugate-gradient solver with relative-residual stopping rule.
+#[derive(Debug, Clone)]
+pub struct ConjugateGradient {
+    /// Stop when `‖r‖ ≤ rel_tolerance · ‖b‖`. Default `1e-10`.
+    pub rel_tolerance: f64,
+    /// Iteration cap. Default `1000`.
+    pub max_iterations: usize,
+}
+
+impl Default for ConjugateGradient {
+    fn default() -> Self {
+        ConjugateGradient {
+            rel_tolerance: 1e-10,
+            max_iterations: 1000,
+        }
+    }
+}
+
+impl ConjugateGradient {
+    /// Creates a solver with default tolerances.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves `A x = b` starting from `x = 0`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `b.len() != op.dim()`;
+    /// - [`LinalgError::NoConvergence`] if the iteration cap is reached
+    ///   before the residual target.
+    pub fn solve<A: SymOp>(&self, op: &A, b: &[f64]) -> Result<CgOutcome, LinalgError> {
+        let n = op.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let b_norm = norm(b);
+        if b_norm == 0.0 {
+            return Ok(CgOutcome {
+                solution: vec![0.0; n],
+                iterations: 0,
+                residual: 0.0,
+            });
+        }
+        let target = self.rel_tolerance * b_norm;
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let mut p = r.clone();
+        let mut ap = vec![0.0; n];
+        let mut rs_old = dot(&r, &r);
+        let mut iterations = 0;
+        while rs_old.sqrt() > target {
+            if iterations >= self.max_iterations {
+                return Err(LinalgError::NoConvergence {
+                    iterations,
+                    residual: rs_old.sqrt(),
+                });
+            }
+            op.apply(&p, &mut ap);
+            let denom = dot(&p, &ap);
+            if denom <= 0.0 {
+                // direction of zero/negative curvature (semi-definite A):
+                // the current x is the best representable answer.
+                break;
+            }
+            let alpha = rs_old / denom;
+            axpy(alpha, &p, &mut x);
+            axpy(-alpha, &ap, &mut r);
+            let rs_new = dot(&r, &r);
+            let beta = rs_new / rs_old;
+            for (pi, ri) in p.iter_mut().zip(&r) {
+                *pi = ri + beta * *pi;
+            }
+            rs_old = rs_new;
+            iterations += 1;
+        }
+        Ok(CgOutcome {
+            solution: x,
+            iterations,
+            residual: rs_old.sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn solves_spd_system() {
+        // A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11]
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)])
+            .unwrap();
+        let out = ConjugateGradient::new().solve(&a, &[1.0, 2.0]).unwrap();
+        assert!((out.solution[0] - 1.0 / 11.0).abs() < 1e-9);
+        assert!((out.solution[1] - 7.0 / 11.0).abs() < 1e-9);
+        assert!(out.residual < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        let out = ConjugateGradient::new().solve(&a, &[0.0, 0.0]).unwrap();
+        assert_eq!(out.solution, vec![0.0, 0.0]);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            ConjugateGradient::new().solve(&a, &[1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn laplacian_system_with_compatible_rhs() {
+        // L of path 0-1-2; rhs orthogonal to the null space (sums to 0).
+        let l = CsrMatrix::laplacian_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let b = [1.0, 0.0, -1.0];
+        let out = ConjugateGradient::new().solve(&l, &b).unwrap();
+        // check A x = b
+        let mut ax = vec![0.0; 3];
+        l.apply(&out.solution, &mut ax);
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_reported() {
+        let n = 64;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let mut triplets = vec![];
+        for &(a, b, w) in &edges {
+            triplets.extend([(a, a, w + 0.001), (b, b, w + 0.001), (a, b, -w), (b, a, -w)]);
+        }
+        let a = CsrMatrix::from_triplets(n, &triplets).unwrap();
+        let solver = ConjugateGradient {
+            rel_tolerance: 1e-14,
+            max_iterations: 2,
+        };
+        let b = vec![1.0; n];
+        assert!(matches!(
+            solver.solve(&a, &b),
+            Err(LinalgError::NoConvergence { iterations: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn converges_in_at_most_n_iterations_in_exact_arithmetic() {
+        // CG on an n-dim SPD system converges in ≤ n steps (plus slack
+        // for floating point).
+        let n = 30;
+        let mut triplets = vec![];
+        for i in 0..n {
+            triplets.push((i, i, 2.0 + (i % 5) as f64));
+            if i + 1 < n {
+                triplets.push((i, i + 1, -1.0));
+                triplets.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, &triplets).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let out = ConjugateGradient::new().solve(&a, &b).unwrap();
+        assert!(out.iterations <= n + 5);
+        assert!(out.residual <= 1e-9 * crate::vector::norm(&b) + 1e-12);
+    }
+}

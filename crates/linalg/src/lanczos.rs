@@ -1,0 +1,434 @@
+//! Lanczos iteration for extreme eigenpairs of symmetric operators.
+//!
+//! The paper's spectral stage needs the two smallest eigenpairs of each
+//! compressed sub-graph's Laplacian (Theorem 1: the minimum cut is read
+//! off the second-smallest eigenvalue's eigenvector). [`lanczos`]
+//! reduces the operator to a small tridiagonal matrix; the Ritz pairs of
+//! that matrix approximate the operator's extreme eigenpairs. Full
+//! re-orthogonalisation keeps the Krylov basis honest, and breakdown is
+//! handled by restarting with a fresh direction — which makes the solver
+//! correct on *disconnected* graphs too (multiple zero eigenvalues).
+
+use crate::tridiag::tridiagonal_eigen;
+use crate::vector::{axpy, dot, normalize, orthogonalize_against};
+use crate::{jacobi_eigen, DenseMatrix, JacobiOptions, LinalgError, SymOp};
+
+/// One converged eigenpair.
+#[derive(Debug, Clone)]
+pub struct Eigenpair {
+    /// The eigenvalue.
+    pub value: f64,
+    /// Unit-norm eigenvector.
+    pub vector: Vec<f64>,
+}
+
+/// Tuning knobs for [`lanczos`] / [`smallest_eigenpairs`].
+#[derive(Debug, Clone)]
+pub struct LanczosOptions {
+    /// Maximum Krylov-subspace dimension (capped at the operator
+    /// dimension). Default `400`.
+    pub max_dim: usize,
+    /// Ritz-pair residual tolerance. Default `1e-10`.
+    pub tolerance: f64,
+    /// Seed for the deterministic pseudo-random start vector.
+    pub seed: u64,
+    /// Operator dimension at or below which the dense Jacobi solver is
+    /// used directly instead of iterating. Default `32`.
+    pub dense_cutoff: usize,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            max_dim: 400,
+            tolerance: 1e-10,
+            seed: 0x5eed_c0de,
+            dense_cutoff: 32,
+        }
+    }
+}
+
+/// Raw output of the Lanczos recurrence: `T = tridiag(beta, alpha,
+/// beta)` plus the orthonormal Krylov basis `V` with `A ≈ V T Vᵀ` on
+/// the captured subspace.
+#[derive(Debug, Clone)]
+pub struct LanczosResult {
+    /// Diagonal of `T`.
+    pub alphas: Vec<f64>,
+    /// Sub-diagonal of `T` (one shorter than `alphas`).
+    pub betas: Vec<f64>,
+    /// Orthonormal basis vectors, `basis[j]` spanning the Krylov space.
+    pub basis: Vec<Vec<f64>>,
+}
+
+/// SplitMix64 — deterministic start vectors without a rand dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_unit_vector(n: usize, seed: &mut u64) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n)
+        .map(|_| (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// Runs the Lanczos recurrence with full re-orthogonalisation for up to
+/// `steps` iterations (capped at the operator dimension), restarting on
+/// breakdown so that the basis keeps growing even across invariant
+/// subspaces.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] if `steps == 0` while the
+/// operator is non-empty.
+pub fn lanczos<A: SymOp>(
+    op: &A,
+    steps: usize,
+    opts: &LanczosOptions,
+) -> Result<LanczosResult, LinalgError> {
+    let n = op.dim();
+    if n == 0 {
+        return Ok(LanczosResult {
+            alphas: vec![],
+            betas: vec![],
+            basis: vec![],
+        });
+    }
+    if steps == 0 {
+        return Err(LinalgError::DimensionMismatch {
+            expected: 1,
+            actual: 0,
+        });
+    }
+    let m = steps.min(n);
+    let mut seed = opts.seed;
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut alphas = Vec::with_capacity(m);
+    let mut betas = Vec::with_capacity(m.saturating_sub(1));
+
+    let mut v = random_unit_vector(n, &mut seed);
+    let mut w = vec![0.0; n];
+    let breakdown_tol = 1e-12;
+
+    while basis.len() < m {
+        op.apply(&v, &mut w);
+        let alpha = dot(&v, &w);
+        alphas.push(alpha);
+        axpy(-alpha, &v, &mut w);
+        if let Some(prev) = basis.last() {
+            let beta_prev = *betas.last().unwrap_or(&0.0);
+            axpy(-beta_prev, prev, &mut w);
+        }
+        basis.push(std::mem::replace(&mut v, vec![0.0; n]));
+        if basis.len() == m {
+            break;
+        }
+        // full re-orthogonalisation, twice for stability
+        orthogonalize_against(&mut w, &basis);
+        orthogonalize_against(&mut w, &basis);
+        let beta = normalize(&mut w);
+        if beta <= breakdown_tol {
+            // invariant subspace exhausted: restart in a fresh direction
+            let mut fresh = random_unit_vector(n, &mut seed);
+            orthogonalize_against(&mut fresh, &basis);
+            orthogonalize_against(&mut fresh, &basis);
+            let r = normalize(&mut fresh);
+            if r <= breakdown_tol {
+                break; // the whole space is spanned
+            }
+            betas.push(0.0);
+            v = fresh;
+        } else {
+            betas.push(beta);
+            v = std::mem::take(&mut w);
+        }
+        w = vec![0.0; n];
+    }
+    Ok(LanczosResult {
+        alphas,
+        betas,
+        basis,
+    })
+}
+
+/// Computes the `k` smallest eigenpairs of `op`, sorted ascending.
+///
+/// Small operators (`dim ≤ opts.dense_cutoff`) are solved exactly with
+/// the dense Jacobi reference; larger ones run Lanczos with growing
+/// subspace until the requested Ritz pairs converge to
+/// `opts.tolerance`.
+///
+/// # Errors
+///
+/// - [`LinalgError::TooManyEigenpairs`] if `k > op.dim()`;
+/// - [`LinalgError::NoConvergence`] if `opts.max_dim` is exhausted
+///   before the pairs converge.
+///
+/// # Example
+///
+/// ```
+/// # use mec_linalg::{CsrMatrix, smallest_eigenpairs, LanczosOptions};
+/// // 2-node graph Laplacian with edge weight 3: eigenvalues {0, 6}.
+/// let l = CsrMatrix::laplacian_from_edges(2, &[(0, 1, 3.0)])?;
+/// let pairs = smallest_eigenpairs(&l, 2, &LanczosOptions::default())?;
+/// assert!(pairs[0].value.abs() < 1e-9);
+/// assert!((pairs[1].value - 6.0).abs() < 1e-9);
+/// # Ok::<(), mec_linalg::LinalgError>(())
+/// ```
+pub fn smallest_eigenpairs<A: SymOp>(
+    op: &A,
+    k: usize,
+    opts: &LanczosOptions,
+) -> Result<Vec<Eigenpair>, LinalgError> {
+    let n = op.dim();
+    if k > n {
+        return Err(LinalgError::TooManyEigenpairs {
+            requested: k,
+            dim: n,
+        });
+    }
+    if k == 0 {
+        return Ok(vec![]);
+    }
+    if n <= opts.dense_cutoff {
+        let dense = DenseMatrix::from_op(op);
+        // Householder + QL for anything non-trivial; Jacobi's sturdier
+        // rotations only for very small systems where its cost is nil.
+        let (vals, vecs) = if n <= 8 {
+            jacobi_eigen(&dense, &JacobiOptions::default())?
+        } else {
+            crate::householder_eigen(&dense)?
+        };
+        return Ok(vals
+            .into_iter()
+            .zip(vecs)
+            .take(k)
+            .map(|(value, vector)| Eigenpair { value, vector })
+            .collect());
+    }
+
+    // grow the Krylov space in bursts, testing convergence between them
+    let mut dim = (4 * k + 20).min(n);
+    loop {
+        let run = lanczos(op, dim, opts)?;
+        let t = tridiagonal_eigen(&run.alphas, &run.betas)?;
+        let m = run.alphas.len();
+        if m >= k {
+            // Ritz residual estimate: |beta_m * s[m-1]| per pair; when the
+            // basis spans the full space the Ritz pairs are exact.
+            let beta_last = if m < n {
+                run.betas.last().copied().unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            let converged = (0..k).all(|i| {
+                let tail = t.vectors[i][m - 1].abs();
+                beta_last * tail <= opts.tolerance.max(1e-14 * t.values[k - 1].abs())
+            });
+            if converged || m >= n {
+                let mut out = Vec::with_capacity(k);
+                for i in 0..k {
+                    let mut x = vec![0.0; n];
+                    for (j, b) in run.basis.iter().enumerate() {
+                        axpy(t.vectors[i][j], b, &mut x);
+                    }
+                    normalize(&mut x);
+                    out.push(Eigenpair {
+                        value: t.values[i],
+                        vector: x,
+                    });
+                }
+                return Ok(out);
+            }
+        }
+        if dim >= opts.max_dim.min(n) {
+            return Err(LinalgError::NoConvergence {
+                iterations: dim,
+                residual: run.betas.last().copied().unwrap_or(0.0),
+            });
+        }
+        dim = (dim * 2).min(opts.max_dim.min(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::norm;
+    use crate::CsrMatrix;
+
+    fn residual(op: &impl SymOp, pair: &Eigenpair) -> f64 {
+        let n = op.dim();
+        let mut y = vec![0.0; n];
+        op.apply(&pair.vector, &mut y);
+        axpy(-pair.value, &pair.vector, &mut y);
+        norm(&y)
+    }
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        CsrMatrix::laplacian_from_edges(n, &edges).unwrap()
+    }
+
+    fn cycle_laplacian(n: usize) -> CsrMatrix {
+        let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        edges.push((n - 1, 0, 1.0));
+        CsrMatrix::laplacian_from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn path_graph_fiedler_value_matches_closed_form() {
+        // P_n Laplacian eigenvalues: 2 - 2 cos(pi k / n), k = 0..n-1.
+        for n in [8usize, 33, 80] {
+            let l = path_laplacian(n);
+            let pairs = smallest_eigenpairs(&l, 2, &LanczosOptions::default()).unwrap();
+            assert!(pairs[0].value.abs() < 1e-8, "n={n}: lambda1 not 0");
+            let expected = 2.0 - 2.0 * (std::f64::consts::PI / n as f64).cos();
+            assert!(
+                (pairs[1].value - expected).abs() < 1e-7,
+                "n={n}: got {}, expected {expected}",
+                pairs[1].value
+            );
+            for p in &pairs {
+                assert!(residual(&l, p) < 1e-6, "n={n}: residual too large");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_graph_spectrum() {
+        // C_n eigenvalues: 2 - 2 cos(2 pi k / n); lambda2 has multiplicity 2.
+        let n = 40;
+        let l = cycle_laplacian(n);
+        let pairs = smallest_eigenpairs(&l, 3, &LanczosOptions::default()).unwrap();
+        let lam2 = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!(pairs[0].value.abs() < 1e-8);
+        assert!((pairs[1].value - lam2).abs() < 1e-7);
+        assert!((pairs[2].value - lam2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n: eigenvalues 0 and n (multiplicity n-1).
+        let n = 50;
+        let mut edges = vec![];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b, 1.0));
+            }
+        }
+        let l = CsrMatrix::laplacian_from_edges(n, &edges).unwrap();
+        let pairs = smallest_eigenpairs(&l, 4, &LanczosOptions::default()).unwrap();
+        assert!(pairs[0].value.abs() < 1e-7);
+        for p in &pairs[1..] {
+            assert!((p.value - n as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_has_double_zero() {
+        // two disjoint edges: eigenvalues {0, 0, 2, 2}
+        let l = CsrMatrix::laplacian_from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let opts = LanczosOptions {
+            dense_cutoff: 0, // force the iterative path
+            ..LanczosOptions::default()
+        };
+        let pairs = smallest_eigenpairs(&l, 3, &opts).unwrap();
+        assert!(pairs[0].value.abs() < 1e-9);
+        assert!(pairs[1].value.abs() < 1e-9);
+        assert!((pairs[2].value - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_cutoff_path_agrees_with_lanczos_path() {
+        let l = path_laplacian(30);
+        let dense_opts = LanczosOptions::default(); // 30 <= 32 → Jacobi
+        let iter_opts = LanczosOptions {
+            dense_cutoff: 0,
+            ..LanczosOptions::default()
+        };
+        let a = smallest_eigenpairs(&l, 2, &dense_opts).unwrap();
+        let b = smallest_eigenpairs(&l, 2, &iter_opts).unwrap();
+        assert!((a[1].value - b[1].value).abs() < 1e-7);
+        // eigenvectors agree up to sign
+        let dot_abs: f64 = a[1]
+            .vector
+            .iter()
+            .zip(&b[1].vector)
+            .map(|(x, y)| x * y)
+            .sum::<f64>()
+            .abs();
+        assert!((dot_abs - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weighted_two_node_graph() {
+        let l = CsrMatrix::laplacian_from_edges(2, &[(0, 1, 3.0)]).unwrap();
+        let pairs = smallest_eigenpairs(&l, 2, &LanczosOptions::default()).unwrap();
+        assert!(pairs[0].value.abs() < 1e-12);
+        assert!((pairs[1].value - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requesting_too_many_pairs_errors() {
+        let l = path_laplacian(3);
+        assert!(matches!(
+            smallest_eigenpairs(&l, 4, &LanczosOptions::default()),
+            Err(LinalgError::TooManyEigenpairs { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_pairs_is_empty() {
+        let l = path_laplacian(3);
+        assert!(smallest_eigenpairs(&l, 0, &LanczosOptions::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn lanczos_basis_is_orthonormal() {
+        let l = path_laplacian(60);
+        let run = lanczos(&l, 25, &LanczosOptions::default()).unwrap();
+        assert_eq!(run.alphas.len(), 25);
+        assert_eq!(run.betas.len(), 24);
+        for (i, a) in run.basis.iter().enumerate() {
+            for (j, b) in run.basis.iter().enumerate() {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (dot(a, b) - expected).abs() < 1e-8,
+                    "basis {i},{j} not orthonormal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let l = path_laplacian(50);
+        let opts = LanczosOptions {
+            dense_cutoff: 0,
+            ..LanczosOptions::default()
+        };
+        let a = smallest_eigenpairs(&l, 2, &opts).unwrap();
+        let b = smallest_eigenpairs(&l, 2, &opts).unwrap();
+        assert_eq!(a[1].value.to_bits(), b[1].value.to_bits());
+        assert_eq!(a[1].vector, b[1].vector);
+    }
+
+    #[test]
+    fn empty_operator() {
+        let l = CsrMatrix::from_triplets(0, &[]).unwrap();
+        assert!(smallest_eigenpairs(&l, 0, &LanczosOptions::default())
+            .unwrap()
+            .is_empty());
+        let run = lanczos(&l, 5, &LanczosOptions::default()).unwrap();
+        assert!(run.basis.is_empty());
+    }
+}

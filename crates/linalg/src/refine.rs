@@ -1,0 +1,194 @@
+//! Inverse-iteration refinement of approximate eigenpairs.
+//!
+//! Lanczos delivers eigenpairs to a configured tolerance; when a
+//! tighter residual is wanted (e.g. for the Theorem 2 cross-checks or
+//! ill-conditioned Laplacians), one or two steps of shifted inverse
+//! iteration — solving `(A − σI) y = x` with conjugate gradients —
+//! sharpen the pair at a fraction of a full re-solve.
+
+use crate::vector::{axpy, dot, norm, normalize};
+use crate::{ConjugateGradient, Eigenpair, LinalgError, SymOp};
+
+/// A symmetric operator shifted by `−σ` and regularised: applies
+/// `(A − σI + εI) x`, keeping CG stable when `σ` is (near) an
+/// eigenvalue.
+struct ShiftedOp<'a, A: SymOp> {
+    inner: &'a A,
+    shift: f64,
+    regularisation: f64,
+}
+
+impl<A: SymOp> SymOp for ShiftedOp<'_, A> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply(x, y);
+        let c = self.regularisation - self.shift;
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += c * xi;
+        }
+    }
+}
+
+/// Tuning for [`refine_eigenpair`].
+#[derive(Debug, Clone)]
+pub struct RefineOptions {
+    /// Inverse-iteration steps (default 2).
+    pub steps: usize,
+    /// Regularisation added to the shifted system so CG stays positive
+    /// definite near the eigenvalue (default `1e-8`).
+    pub regularisation: f64,
+    /// Inner CG solver settings.
+    pub cg: ConjugateGradient,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            steps: 2,
+            regularisation: 1e-8,
+            cg: ConjugateGradient {
+                rel_tolerance: 1e-8,
+                max_iterations: 500,
+            },
+        }
+    }
+}
+
+/// Residual norm `‖A v − λ v‖₂` of a candidate pair.
+pub fn residual_norm<A: SymOp>(op: &A, pair: &Eigenpair) -> f64 {
+    let n = op.dim();
+    let mut y = vec![0.0; n];
+    op.apply(&pair.vector, &mut y);
+    axpy(-pair.value, &pair.vector, &mut y);
+    norm(&y)
+}
+
+/// Refines an approximate eigenpair by shifted inverse iteration with
+/// Rayleigh-quotient updates.
+///
+/// Returns the refined pair; the result is only replaced when its
+/// residual actually improved, so refinement never degrades a pair.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] if the pair's vector length
+/// differs from the operator dimension. Inner CG convergence failures
+/// are treated as "no improvement", not errors — the original pair is
+/// returned.
+pub fn refine_eigenpair<A: SymOp>(
+    op: &A,
+    pair: &Eigenpair,
+    opts: &RefineOptions,
+) -> Result<Eigenpair, LinalgError> {
+    let n = op.dim();
+    if pair.vector.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            actual: pair.vector.len(),
+        });
+    }
+    if n == 0 {
+        return Ok(pair.clone());
+    }
+    let mut best = pair.clone();
+    let mut best_res = residual_norm(op, &best);
+    let mut current = pair.clone();
+
+    for _ in 0..opts.steps {
+        let shifted = ShiftedOp {
+            inner: op,
+            shift: current.value,
+            regularisation: opts.regularisation,
+        };
+        let Ok(solve) = opts.cg.solve(&shifted, &current.vector) else {
+            break; // CG stalled: keep the best pair found so far
+        };
+        let mut v = solve.solution;
+        if normalize(&mut v) == 0.0 {
+            break;
+        }
+        // Rayleigh quotient for the updated vector
+        let mut av = vec![0.0; n];
+        op.apply(&v, &mut av);
+        let lambda = dot(&v, &av);
+        current = Eigenpair {
+            value: lambda,
+            vector: v,
+        };
+        let res = residual_norm(op, &current);
+        if res < best_res {
+            best_res = res;
+            best = current.clone();
+        } else {
+            break; // converged (or oscillating): stop early
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{smallest_eigenpairs, CsrMatrix, LanczosOptions};
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        CsrMatrix::laplacian_from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn refinement_tightens_a_loose_pair() {
+        let l = path_laplacian(40);
+        // deliberately loose Lanczos
+        let opts = LanczosOptions {
+            tolerance: 1e-3,
+            dense_cutoff: 0,
+            ..LanczosOptions::default()
+        };
+        let rough = smallest_eigenpairs(&l, 2, &opts).unwrap();
+        let before = residual_norm(&l, &rough[1]);
+        let refined = refine_eigenpair(&l, &rough[1], &RefineOptions::default()).unwrap();
+        let after = residual_norm(&l, &refined);
+        assert!(after <= before, "refinement must not worsen: {after} > {before}");
+        assert!(after < 1e-6, "expected a tight pair, residual {after}");
+        let expected = 2.0 - 2.0 * (std::f64::consts::PI / 40.0).cos();
+        assert!((refined.value - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn refinement_is_a_fixed_point_on_exact_pairs() {
+        let l = path_laplacian(20);
+        let pairs = smallest_eigenpairs(&l, 2, &LanczosOptions::default()).unwrap();
+        let refined = refine_eigenpair(&l, &pairs[1], &RefineOptions::default()).unwrap();
+        assert!((refined.value - pairs[1].value).abs() < 1e-9);
+        assert!(residual_norm(&l, &refined) <= residual_norm(&l, &pairs[1]) + 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let l = path_laplacian(5);
+        let bad = Eigenpair {
+            value: 1.0,
+            vector: vec![1.0; 3],
+        };
+        assert!(matches!(
+            refine_eigenpair(&l, &bad, &RefineOptions::default()),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_norm_is_zero_for_true_pairs() {
+        // K_2 Laplacian with weight 3: (6, [1,-1]/sqrt(2))
+        let l = CsrMatrix::laplacian_from_edges(2, &[(0, 1, 3.0)]).unwrap();
+        let s = 1.0 / 2.0f64.sqrt();
+        let pair = Eigenpair {
+            value: 6.0,
+            vector: vec![s, -s],
+        };
+        assert!(residual_norm(&l, &pair) < 1e-12);
+    }
+}

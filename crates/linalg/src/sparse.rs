@@ -1,0 +1,230 @@
+//! Compressed-sparse-row symmetric matrices.
+
+use crate::{LinalgError, SymOp};
+
+/// A square sparse matrix in CSR form.
+///
+/// Construction is from coordinate triplets; duplicate `(row, col)`
+/// entries are summed, rows are sorted by column. The type is used for
+/// graph Laplacians, so symmetry is the caller's contract (checked by
+/// [`CsrMatrix::is_symmetric`] in tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    dim: usize,
+    offsets: Vec<usize>,
+    columns: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds an `n × n` matrix from `(row, col, value)` triplets.
+    /// Duplicates are summed; explicit zeros are kept.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::IndexOutOfBounds`] if a triplet index `≥ n`;
+    /// - [`LinalgError::NonFiniteEntry`] for NaN/infinite values.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Result<Self, LinalgError> {
+        for &(r, c, v) in triplets {
+            if r >= n {
+                return Err(LinalgError::IndexOutOfBounds { index: r, dim: n });
+            }
+            if c >= n {
+                return Err(LinalgError::IndexOutOfBounds { index: c, dim: n });
+            }
+            if !v.is_finite() {
+                return Err(LinalgError::NonFiniteEntry(v));
+            }
+        }
+        // bucket per row, merge duplicates
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(r, c, v) in triplets {
+            rows[r].push((c, v));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut columns = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        for row in &mut rows {
+            row.sort_by_key(|&(c, _)| c);
+            let mut iter = row.iter().copied().peekable();
+            while let Some((c, mut v)) = iter.next() {
+                while let Some(&(c2, v2)) = iter.peek() {
+                    if c2 == c {
+                        v += v2;
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                columns.push(c);
+                values.push(v);
+            }
+            offsets.push(columns.len());
+        }
+        Ok(CsrMatrix {
+            dim: n,
+            offsets,
+            columns,
+            values,
+        })
+    }
+
+    /// Builds the graph Laplacian `L = D − A` of an undirected weighted
+    /// graph given as an edge list over `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_triplets`](Self::from_triplets); a
+    /// self-loop yields [`LinalgError::IndexOutOfBounds`]-free but
+    /// cancels to zero on the diagonal, so it is rejected as a
+    /// dimension-style misuse via `debug_assert`.
+    pub fn laplacian_from_edges(
+        n: usize,
+        edges: &[(usize, usize, f64)],
+    ) -> Result<Self, LinalgError> {
+        let mut triplets = Vec::with_capacity(edges.len() * 4);
+        for &(a, b, w) in edges {
+            debug_assert_ne!(a, b, "self-loops have no Laplacian meaning");
+            triplets.push((a, a, w));
+            triplets.push((b, b, w));
+            triplets.push((a, b, -w));
+            triplets.push((b, a, -w));
+        }
+        CsrMatrix::from_triplets(n, &triplets)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Entry `(r, c)`, `0.0` when not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.dim && c < self.dim, "index out of bounds");
+        let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
+        match self.columns[lo..hi].binary_search(&c) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `true` when the matrix equals its transpose (exact comparison).
+    pub fn is_symmetric(&self) -> bool {
+        for r in 0..self.dim {
+            let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
+            for (c, v) in self.columns[lo..hi].iter().zip(&self.values[lo..hi]) {
+                if self.get(*c, r) != *v {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates the stored `(col, value)` entries of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> impl ExactSizeIterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
+        self.columns[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+}
+
+impl SymOp for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.dim, "x length mismatch");
+        assert_eq!(y.len(), self.dim, "y length mismatch");
+        for r in 0..self.dim {
+            let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
+            let mut acc = 0.0;
+            for (c, v) in self.columns[lo..hi].iter().zip(&self.values[lo..hi]) {
+                acc += v * x[*c];
+            }
+            y[r] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_merge_and_sort() {
+        let m = CsrMatrix::from_triplets(2, &[(0, 1, 2.0), (0, 0, 1.0), (0, 1, 3.0)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row, vec![(0, 1.0), (1, 5.0)]);
+    }
+
+    #[test]
+    fn rejects_bad_triplets() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, &[(2, 0, 1.0)]),
+            Err(LinalgError::IndexOutOfBounds { index: 2, dim: 2 })
+        ));
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, &[(0, 0, f64::NAN)]),
+            Err(LinalgError::NonFiniteEntry(_))
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        // [[1,2],[2,-1]] * [3,4] = [11, 2]
+        let m = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, -1.0)])
+            .unwrap();
+        let mut y = vec![0.0; 2];
+        m.apply(&[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![11.0, 2.0]);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn asymmetry_detected() {
+        let m = CsrMatrix::from_triplets(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(!m.is_symmetric());
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let l =
+            CsrMatrix::laplacian_from_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0)])
+                .unwrap();
+        assert!(l.is_symmetric());
+        let mut y = vec![0.0; 4];
+        l.apply(&[1.0; 4], &mut y);
+        for v in y {
+            assert!(v.abs() < 1e-12);
+        }
+        assert_eq!(l.get(0, 0), 7.0); // deg(0) = 2 + 5
+        assert_eq!(l.get(0, 1), -2.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::from_triplets(0, &[]).unwrap();
+        assert_eq!(m.dim(), 0);
+        assert_eq!(m.nnz(), 0);
+        let mut y: Vec<f64> = vec![];
+        m.apply(&[], &mut y);
+    }
+}

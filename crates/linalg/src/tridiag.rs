@@ -1,0 +1,250 @@
+//! Symmetric tridiagonal eigensolver (implicit QL with shifts).
+//!
+//! This is the classic `tql2` algorithm: given the diagonal `d` and
+//! sub-diagonal `e` of a symmetric tridiagonal matrix `T`, it returns
+//! all eigenvalues in ascending order together with the eigenvectors of
+//! `T`. Lanczos reduces the Laplacian to this form; the Fiedler pair is
+//! then read out of `T`'s spectrum.
+
+use crate::LinalgError;
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix.
+///
+/// `values[k]` is the `k`-th smallest eigenvalue; `vectors[k]` is its
+/// (unit-norm) eigenvector expressed in the basis `T` was given in.
+#[derive(Debug, Clone)]
+pub struct TridiagonalEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// `vectors[k][i]` is component `i` of eigenvector `k`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Computes all eigenpairs of the symmetric tridiagonal matrix with
+/// diagonal `diag` and sub-diagonal `off` (`off[i]` couples rows `i`
+/// and `i+1`).
+///
+/// # Errors
+///
+/// - [`LinalgError::DimensionMismatch`] when
+///   `off.len() + 1 != diag.len()` (except both empty);
+/// - [`LinalgError::NoConvergence`] if any eigenvalue needs more than
+///   50 QL sweeps (essentially impossible for well-formed input).
+///
+/// # Example
+///
+/// ```
+/// # use mec_linalg::tridiagonal_eigen;
+/// // T = [[2,-1],[-1,2]] has eigenvalues 1 and 3.
+/// let eig = tridiagonal_eigen(&[2.0, 2.0], &[-1.0])?;
+/// assert!((eig.values[0] - 1.0).abs() < 1e-12);
+/// assert!((eig.values[1] - 3.0).abs() < 1e-12);
+/// # Ok::<(), mec_linalg::LinalgError>(())
+/// ```
+pub fn tridiagonal_eigen(diag: &[f64], off: &[f64]) -> Result<TridiagonalEigen, LinalgError> {
+    let n = diag.len();
+    if n == 0 {
+        return Ok(TridiagonalEigen {
+            values: vec![],
+            vectors: vec![],
+        });
+    }
+    if off.len() + 1 != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n - 1,
+            actual: off.len(),
+        });
+    }
+    let mut d = diag.to_vec();
+    // e is shifted: e[i] couples i-1 and i in the classic formulation.
+    let mut e = Vec::with_capacity(n);
+    e.extend_from_slice(off);
+    e.push(0.0);
+
+    // z[i][j]: component i of eigenvector j; start with identity.
+    let mut z = vec![vec![0.0; n]; n];
+    for (i, row) in z.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    const MAX_SWEEPS: usize = 50;
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // find small sub-diagonal element
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_SWEEPS {
+                return Err(LinalgError::NoConvergence {
+                    iterations: iter,
+                    residual: e[l].abs(),
+                });
+            }
+            // form shift
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // accumulate eigenvectors
+                for row in z.iter_mut() {
+                    f = row[i + 1];
+                    row[i + 1] = s * row[i] + c * f;
+                    row[i] = c * row[i] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // sort ascending, permute vectors accordingly
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("eigenvalues are finite"));
+    let values: Vec<f64> = order.iter().map(|&j| d[j]).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&j| (0..n).map(|i| z[i][j]).collect())
+        .collect();
+    Ok(TridiagonalEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{dot, norm};
+
+    fn residual(diag: &[f64], off: &[f64], lambda: f64, v: &[f64]) -> f64 {
+        let n = diag.len();
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = diag[i] * v[i];
+            if i > 0 {
+                acc += off[i - 1] * v[i - 1];
+            }
+            if i + 1 < n {
+                acc += off[i] * v[i + 1];
+            }
+            r[i] = acc - lambda * v[i];
+        }
+        norm(&r)
+    }
+
+    #[test]
+    fn two_by_two() {
+        let eig = tridiagonal_eigen(&[2.0, 2.0], &[-1.0]).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+        for (l, v) in eig.values.iter().zip(&eig.vectors) {
+            assert!(residual(&[2.0, 2.0], &[-1.0], *l, v) < 1e-10);
+            assert!((norm(v) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let eig = tridiagonal_eigen(&[5.0], &[]).unwrap();
+        assert_eq!(eig.values, vec![5.0]);
+        assert_eq!(eig.vectors, vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let eig = tridiagonal_eigen(&[], &[]).unwrap();
+        assert!(eig.values.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        assert!(matches!(
+            tridiagonal_eigen(&[1.0, 2.0], &[0.1, 0.2]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn discrete_laplacian_eigenvalues_match_closed_form() {
+        // T_n = tridiag(-1, 2, -1) has eigenvalues 2 - 2 cos(k*pi/(n+1)).
+        let n = 12;
+        let diag = vec![2.0; n];
+        let off = vec![-1.0; n - 1];
+        let eig = tridiagonal_eigen(&diag, &off).unwrap();
+        for (k, lam) in eig.values.iter().enumerate() {
+            let expected = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n + 1) as f64).cos();
+            assert!(
+                (lam - expected).abs() < 1e-10,
+                "eigenvalue {k}: got {lam}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let n = 9;
+        let diag: Vec<f64> = (0..n).map(|i| (i % 3) as f64 + 1.0).collect();
+        let off: Vec<f64> = (0..n - 1).map(|i| 0.5 + 0.1 * i as f64).collect();
+        let eig = tridiagonal_eigen(&diag, &off).unwrap();
+        for a in 0..n {
+            for b in 0..n {
+                let expected = if a == b { 1.0 } else { 0.0 };
+                assert!(
+                    (dot(&eig.vectors[a], &eig.vectors[b]) - expected).abs() < 1e-9,
+                    "vectors {a}, {b} not orthonormal"
+                );
+            }
+        }
+        for (l, v) in eig.values.iter().zip(&eig.vectors) {
+            assert!(residual(&diag, &off, *l, v) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_passes_through() {
+        let eig = tridiagonal_eigen(&[3.0, 1.0, 2.0], &[0.0, 0.0]).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-14);
+        assert!((eig.values[1] - 2.0).abs() < 1e-14);
+        assert!((eig.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn values_are_sorted_ascending() {
+        let diag: Vec<f64> = (0..20).map(|i| ((i * 7919) % 13) as f64).collect();
+        let off: Vec<f64> = (0..19).map(|i| ((i * 104729) % 7) as f64 / 7.0).collect();
+        let eig = tridiagonal_eigen(&diag, &off).unwrap();
+        for w in eig.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Dense vector kernels used by every iterative solver.
+//!
+//! These are deliberately plain free functions over `&[f64]` — the
+//! callers (Lanczos, CG, the parallel engine) own their storage and
+//! only need the arithmetic.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y ← y + alpha · x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha · x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Normalises `x` to unit length in place and returns the original
+/// norm. Leaves a zero vector untouched and returns `0.0`.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Removes from `x` its components along each (assumed orthonormal)
+/// vector in `basis` — one step of modified Gram–Schmidt.
+///
+/// # Panics
+///
+/// Panics if any basis vector length differs from `x`.
+pub fn orthogonalize_against(x: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let c = dot(x, b);
+        axpy(-c, b, x);
+    }
+}
+
+/// Maximum absolute component, `‖x‖∞`; `0.0` for an empty slice.
+pub fn inf_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_and_normalize() {
+        let mut x = vec![0.0, 3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm(&x) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn orthogonalize_removes_components() {
+        let e1 = vec![1.0, 0.0, 0.0];
+        let e2 = vec![0.0, 1.0, 0.0];
+        let mut x = vec![3.0, 4.0, 5.0];
+        orthogonalize_against(&mut x, &[e1.clone(), e2.clone()]);
+        assert!(dot(&x, &e1).abs() < 1e-12);
+        assert!(dot(&x, &e2).abs() < 1e-12);
+        assert!((x[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inf_norm_takes_abs() {
+        assert_eq!(inf_norm(&[-7.0, 2.0]), 7.0);
+        assert_eq!(inf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_validates_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

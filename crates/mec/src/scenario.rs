@@ -1,0 +1,239 @@
+//! Users, workloads, and the scenario container.
+
+use crate::{ModelError, SystemParams};
+use mec_graph::{Bipartition, Graph};
+use std::sync::Arc;
+
+/// One user's application workload.
+///
+/// The graph is reference-counted so large crowds of users running the
+/// same application (the paper's multi-user sweeps) share one copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserWorkload {
+    name: String,
+    graph: Arc<Graph>,
+}
+
+impl UserWorkload {
+    /// Creates a workload for the user called `name` running the
+    /// application with function data-flow graph `graph` (accepts
+    /// `Graph` or a shared `Arc<Graph>`).
+    pub fn new(name: impl Into<String>, graph: impl Into<Arc<Graph>>) -> Self {
+        UserWorkload {
+            name: name.into(),
+            graph: graph.into(),
+        }
+    }
+
+    /// The user's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The application graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// An all-local plan for this workload (the no-offloading
+    /// baseline).
+    pub fn all_local_plan(&self) -> Bipartition {
+        Bipartition::uniform(self.graph.node_count(), mec_graph::Side::Local)
+    }
+
+    /// The offload-maximal plan: every offloadable function remote,
+    /// pinned functions local.
+    pub fn all_remote_plan(&self) -> Bipartition {
+        Bipartition::from_fn(self.graph.node_count(), |i| {
+            if self.graph.is_offloadable(mec_graph::NodeId::new(i)) {
+                mec_graph::Side::Remote
+            } else {
+                mec_graph::Side::Local
+            }
+        })
+    }
+}
+
+/// A complete multi-user MEC scenario: shared parameters plus one
+/// workload per user, all served by a single edge server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    params: SystemParams,
+    users: Vec<UserWorkload>,
+}
+
+impl Scenario {
+    /// Creates an empty scenario with the given parameters.
+    pub fn new(params: SystemParams) -> Self {
+        Scenario {
+            params,
+            users: Vec::new(),
+        }
+    }
+
+    /// Adds a user (builder style).
+    pub fn with_user(mut self, user: UserWorkload) -> Self {
+        self.users.push(user);
+        self
+    }
+
+    /// Adds many users.
+    pub fn with_users(mut self, users: impl IntoIterator<Item = UserWorkload>) -> Self {
+        self.users.extend(users);
+        self
+    }
+
+    /// The shared system parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The users in order.
+    pub fn users(&self) -> &[UserWorkload] {
+        &self.users
+    }
+
+    /// Prices the no-offloading baseline (every function on its
+    /// device).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParams`] if the system parameters are
+    /// invalid.
+    pub fn evaluate_all_local(&self) -> Result<crate::Evaluation, ModelError> {
+        let plan: Vec<Bipartition> = self.users.iter().map(UserWorkload::all_local_plan).collect();
+        self.evaluate(&plan)
+    }
+
+    /// Prices the offload-maximal baseline (every offloadable function
+    /// on the server).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidParams`] if the system parameters are
+    /// invalid.
+    pub fn evaluate_all_remote(&self) -> Result<crate::Evaluation, ModelError> {
+        let plan: Vec<Bipartition> = self.users.iter().map(UserWorkload::all_remote_plan).collect();
+        self.evaluate(&plan)
+    }
+
+    /// Validates an offloading plan against this scenario: one
+    /// partition per user, covering the graph, with every pinned node
+    /// kept local.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelError`] variants for each violation.
+    pub fn validate_plan(&self, plan: &[Bipartition]) -> Result<(), ModelError> {
+        self.params.validate()?;
+        if plan.len() != self.users.len() {
+            return Err(ModelError::PlanLengthMismatch {
+                users: self.users.len(),
+                plans: plan.len(),
+            });
+        }
+        for (i, (user, cut)) in self.users.iter().zip(plan).enumerate() {
+            if cut.len() < user.graph.node_count() {
+                return Err(ModelError::PartitionTooSmall { user: i });
+            }
+            for n in user.graph.node_ids() {
+                if !user.graph.is_offloadable(n) && cut.side(n) == mec_graph::Side::Remote {
+                    return Err(ModelError::PinnedNodeOffloaded { user: i, node: n });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::{GraphBuilder, Side};
+
+    fn graph_with_pin() -> Graph {
+        let mut b = GraphBuilder::new();
+        let p = b.add_pinned_node(1.0);
+        let q = b.add_node(2.0);
+        b.add_edge(p, q, 1.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_accumulates_users() {
+        let s = Scenario::new(SystemParams::default())
+            .with_user(UserWorkload::new("a", graph_with_pin()))
+            .with_users([UserWorkload::new("b", graph_with_pin())]);
+        assert_eq!(s.user_count(), 2);
+        assert_eq!(s.users()[0].name(), "a");
+        assert_eq!(s.users()[1].name(), "b");
+    }
+
+    #[test]
+    fn all_local_plan_covers_graph() {
+        let u = UserWorkload::new("a", graph_with_pin());
+        let p = u.all_local_plan();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.count_on(Side::Local), 2);
+    }
+
+    #[test]
+    fn validate_plan_checks_lengths() {
+        let s = Scenario::new(SystemParams::default())
+            .with_user(UserWorkload::new("a", graph_with_pin()));
+        assert_eq!(
+            s.validate_plan(&[]),
+            Err(ModelError::PlanLengthMismatch { users: 1, plans: 0 })
+        );
+        let short = Bipartition::uniform(1, Side::Local);
+        assert_eq!(
+            s.validate_plan(&[short]),
+            Err(ModelError::PartitionTooSmall { user: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_plan_rejects_offloaded_pins() {
+        let s = Scenario::new(SystemParams::default())
+            .with_user(UserWorkload::new("a", graph_with_pin()));
+        let bad = Bipartition::from_sides(vec![Side::Remote, Side::Remote]);
+        assert!(matches!(
+            s.validate_plan(&[bad]),
+            Err(ModelError::PinnedNodeOffloaded { user: 0, .. })
+        ));
+        let ok = Bipartition::from_sides(vec![Side::Local, Side::Remote]);
+        assert_eq!(s.validate_plan(&[ok]), Ok(()));
+    }
+
+    #[test]
+    fn baseline_plans_and_evaluations() {
+        let s = Scenario::new(SystemParams::default())
+            .with_user(UserWorkload::new("a", graph_with_pin()));
+        let remote = s.users()[0].all_remote_plan();
+        assert_eq!(remote.side(mec_graph::NodeId::new(0)), Side::Local); // pinned
+        assert_eq!(remote.side(mec_graph::NodeId::new(1)), Side::Remote);
+        let local_eval = s.evaluate_all_local().unwrap();
+        let remote_eval = s.evaluate_all_remote().unwrap();
+        assert_eq!(local_eval.totals.tx_energy, 0.0);
+        assert!(remote_eval.totals.local_energy < local_eval.totals.local_energy);
+    }
+
+    #[test]
+    fn validate_plan_surfaces_bad_params() {
+        let params = SystemParams {
+            server_capacity: -1.0,
+            ..SystemParams::default()
+        };
+        let s = Scenario::new(params).with_user(UserWorkload::new("a", graph_with_pin()));
+        let plan = vec![s.users()[0].all_local_plan()];
+        assert_eq!(
+            s.validate_plan(&plan),
+            Err(ModelError::InvalidParams("server_capacity"))
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the cost model: the pricing formulas must be
+//! internally consistent, monotone, and policy-sane for arbitrary
+//! plans.
+
+use mec_graph::{Bipartition, NodeId, Side};
+use mec_model::{AllocationPolicy, Scenario, SystemParams, UserWorkload};
+use mec_netgen::NetgenSpec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_case() -> impl Strategy<Value = (Scenario, Vec<Bipartition>)> {
+    (
+        1usize..5,
+        20usize..80,
+        0u64..300,
+        proptest::collection::vec(any::<bool>(), 32),
+        prop_oneof![
+            Just(AllocationPolicy::EqualShare),
+            Just(AllocationPolicy::ProportionalToLoad),
+            Just(AllocationPolicy::Fifo),
+        ],
+    )
+        .prop_map(|(users, nodes, seed, mask, policy)| {
+            let graph = Arc::new(
+                NetgenSpec::new(nodes, nodes * 2)
+                    .seed(seed)
+                    .generate()
+                    .expect("feasible"),
+            );
+            let params = SystemParams {
+                allocation: policy,
+                ..SystemParams::default()
+            };
+            let scenario = Scenario::new(params).with_users(
+                (0..users).map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&graph))),
+            );
+            let plan: Vec<Bipartition> = (0..users)
+                .map(|u| {
+                    Bipartition::from_fn(graph.node_count(), |i| {
+                        let n = NodeId::new(i);
+                        if !graph.is_offloadable(n) || !mask[(i + u) % mask.len()] {
+                            Side::Local
+                        } else {
+                            Side::Remote
+                        }
+                    })
+                })
+                .collect();
+            (scenario, plan)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn totals_are_sums_of_parts((scenario, plan) in arb_case()) {
+        let eval = scenario.evaluate(&plan).unwrap();
+        let t = &eval.totals;
+        prop_assert!((t.energy - (t.local_energy + t.tx_energy)).abs() < 1e-9);
+        prop_assert!((t.time - (t.local_time + t.remote_time + t.tx_time)).abs() < 1e-9);
+        let sum_le: f64 = eval.per_user.iter().map(|c| c.local_energy).sum();
+        let sum_te: f64 = eval.per_user.iter().map(|c| c.tx_energy).sum();
+        let sum_lt: f64 = eval.per_user.iter().map(|c| c.local_time).sum();
+        prop_assert!((sum_le - t.local_energy).abs() < 1e-9);
+        prop_assert!((sum_te - t.tx_energy).abs() < 1e-9);
+        prop_assert!((sum_lt - t.local_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formulas_1_3_4_5_hold_per_user((scenario, plan) in arb_case()) {
+        let p = *scenario.params();
+        let eval = scenario.evaluate(&plan).unwrap();
+        for c in &eval.per_user {
+            // (1) t_c = local work / I_c, (3) e_c = t_c p_c
+            prop_assert!((c.local_time - c.local_work / p.local_capacity).abs() < 1e-9);
+            prop_assert!((c.local_energy - c.local_time * p.local_power).abs() < 1e-9);
+            // (5) t_t = volume / b, (4) e_t = t_t p_t
+            prop_assert!((c.tx_time - c.tx_volume / p.bandwidth).abs() < 1e-9);
+            prop_assert!((c.tx_energy - c.tx_time * p.tx_power).abs() < 1e-9);
+            prop_assert!(c.wait_time >= 0.0 && c.remote_time >= 0.0);
+        }
+    }
+
+    #[test]
+    fn energy_is_policy_independent((scenario, plan) in arb_case()) {
+        // re-price the same plan under every policy: E never changes
+        let mut energies = Vec::new();
+        for policy in [
+            AllocationPolicy::EqualShare,
+            AllocationPolicy::ProportionalToLoad,
+            AllocationPolicy::Fifo,
+        ] {
+            let params = SystemParams { allocation: policy, ..*scenario.params() };
+            let s2 = Scenario::new(params).with_users(scenario.users().iter().cloned());
+            energies.push(s2.evaluate(&plan).unwrap().totals.energy);
+        }
+        prop_assert!((energies[0] - energies[1]).abs() < 1e-9);
+        prop_assert!((energies[1] - energies[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_server_never_increases_time((scenario, plan) in arb_case()) {
+        let base = scenario.evaluate(&plan).unwrap().totals.time;
+        let params = SystemParams {
+            server_capacity: scenario.params().server_capacity * 4.0,
+            ..*scenario.params()
+        };
+        let s2 = Scenario::new(params).with_users(scenario.users().iter().cloned());
+        let fast = s2.evaluate(&plan).unwrap().totals.time;
+        prop_assert!(fast <= base + 1e-9, "faster server raised time: {fast} > {base}");
+    }
+
+    #[test]
+    fn all_local_baseline_has_no_transmission((scenario, _) in arb_case()) {
+        let eval = scenario.evaluate_all_local().unwrap();
+        prop_assert_eq!(eval.totals.tx_energy, 0.0);
+        prop_assert_eq!(eval.totals.remote_time, 0.0);
+        for c in &eval.per_user {
+            prop_assert_eq!(c.remote_work, 0.0);
+        }
+    }
+
+    #[test]
+    fn all_remote_baseline_respects_pins((scenario, _) in arb_case()) {
+        let eval = scenario.evaluate_all_remote().unwrap();
+        for (user, cost) in scenario.users().iter().zip(&eval.per_user) {
+            let g = user.graph();
+            let pinned: f64 = g
+                .node_ids()
+                .filter(|&n| !g.is_offloadable(n))
+                .map(|n| g.node_weight(n))
+                .sum();
+            prop_assert!((cost.local_work - pinned).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,654 @@
+//! NETGEN-style random function data-flow graph generator.
+//!
+//! The paper generates its workloads with NETGEN, "a fast tool for
+//! randomly generating network graph based on the number of nodes, the
+//! number of edges and the weight of edges provided by users", tuned so
+//! the output "is similar to the actual function data flow graph of
+//! mobile applications" (§IV). This crate reproduces that role with a
+//! seeded, deterministic generator:
+//!
+//! - the node set is split into *components* (mobile apps are built
+//!   from components; the compression stage exploits their boundaries);
+//! - each component gets a random spanning tree first, so components
+//!   are connected, then extra intra-component edges up to the edge
+//!   budget;
+//! - a configurable fraction of edges is *highly coupled* (drawn from a
+//!   heavier weight range) — these are the pairs label propagation is
+//!   supposed to fuse;
+//! - a configurable fraction of nodes is unoffloadable.
+//!
+//! [`NetgenSpec::paper_network`] reproduces the exact `(nodes, edges)`
+//! rows of the paper's Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use mec_netgen::NetgenSpec;
+//!
+//! let g = NetgenSpec::new(120, 400)
+//!     .components(4)
+//!     .seed(7)
+//!     .generate()?;
+//! assert_eq!(g.node_count(), 120);
+//! assert_eq!(g.edge_count(), 400);
+//! # Ok::<(), mec_netgen::NetgenError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mec_graph::{Graph, GraphBuilder, NodeId, ParallelEdgePolicy};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when a generation spec is unsatisfiable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetgenError {
+    /// A graph needs at least one node.
+    NoNodes,
+    /// Fewer edges requested than needed to keep every component
+    /// connected (`needed` = nodes − components).
+    TooFewEdges {
+        /// Edges requested.
+        requested: usize,
+        /// Minimum required for connectivity.
+        needed: usize,
+    },
+    /// More edges requested than distinct intra-component pairs exist.
+    TooManyEdges {
+        /// Edges requested.
+        requested: usize,
+        /// Maximum representable.
+        max: usize,
+    },
+    /// More components than nodes.
+    TooManyComponents {
+        /// Components requested.
+        components: usize,
+        /// Nodes available.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for NetgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetgenError::NoNodes => f.write_str("at least one node is required"),
+            NetgenError::TooFewEdges { requested, needed } => write!(
+                f,
+                "{requested} edges cannot keep the graph connected (need at least {needed})"
+            ),
+            NetgenError::TooManyEdges { requested, max } => {
+                write!(f, "{requested} edges exceed the {max} distinct pairs available")
+            }
+            NetgenError::TooManyComponents { components, nodes } => {
+                write!(f, "{components} components exceed {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl Error for NetgenError {}
+
+/// Specification of a random function data-flow graph.
+///
+/// Construct with [`NetgenSpec::new`], refine with the builder methods,
+/// then call [`generate`](NetgenSpec::generate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetgenSpec {
+    nodes: usize,
+    edges: usize,
+    components: usize,
+    node_weight: (f64, f64),
+    edge_weight: (f64, f64),
+    coupled_weight: (f64, f64),
+    coupled_fraction: f64,
+    unoffloadable_fraction: f64,
+    pinned_edge_factor: f64,
+    clusters_per_component: usize,
+    intercluster_fraction: f64,
+    seed: u64,
+}
+
+impl NetgenSpec {
+    /// A spec for `nodes` functions and `edges` communication pairs,
+    /// with defaults mimicking a mobile app's function data-flow graph:
+    /// 1 component per ~125 nodes, computation weights 1–100,
+    /// communication weights 1–10 with 30 % highly coupled pairs at
+    /// 50–100, and 10 % unoffloadable functions.
+    pub fn new(nodes: usize, edges: usize) -> Self {
+        NetgenSpec {
+            nodes,
+            edges,
+            components: (nodes / 125).max(1),
+            node_weight: (1.0, 100.0),
+            edge_weight: (1.0, 10.0),
+            coupled_weight: (50.0, 100.0),
+            coupled_fraction: 0.30,
+            unoffloadable_fraction: 0.10,
+            pinned_edge_factor: 3.0,
+            clusters_per_component: 4,
+            intercluster_fraction: 0.08,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A spec reproducing one row of the paper's Table I — same node
+    /// and edge counts, defaults elsewhere.
+    pub fn paper_network(nodes: usize, edges: usize) -> Self {
+        NetgenSpec::new(nodes, edges)
+    }
+
+    /// The five `(nodes, edges)` configurations of Table I:
+    /// (250, 1214), (500, 2643), (1000, 4912), (2000, 9578),
+    /// (5000, 40243).
+    pub fn table1_rows() -> [(usize, usize); 5] {
+        [(250, 1214), (500, 2643), (1000, 4912), (2000, 9578), (5000, 40243)]
+    }
+
+    /// Sets the number of components the node set is split into.
+    pub fn components(mut self, components: usize) -> Self {
+        self.components = components.max(1);
+        self
+    }
+
+    /// Sets the uniform range for node computation weights.
+    pub fn node_weight_range(mut self, lo: f64, hi: f64) -> Self {
+        self.node_weight = (lo, hi);
+        self
+    }
+
+    /// Sets the uniform range for ordinary edge communication weights.
+    pub fn edge_weight_range(mut self, lo: f64, hi: f64) -> Self {
+        self.edge_weight = (lo, hi);
+        self
+    }
+
+    /// Sets the weight range used for highly coupled pairs.
+    pub fn coupled_weight_range(mut self, lo: f64, hi: f64) -> Self {
+        self.coupled_weight = (lo, hi);
+        self
+    }
+
+    /// Sets the fraction (0–1) of edges drawn from the coupled range.
+    pub fn coupled_fraction(mut self, f: f64) -> Self {
+        self.coupled_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the fraction (0–1) of nodes marked unoffloadable.
+    pub fn unoffloadable_fraction(mut self, f: f64) -> Self {
+        self.unoffloadable_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets how many internal clusters (modules) each component has.
+    /// Clusters are densely wired inside and sparsely, lightly wired to
+    /// each other — the module boundaries real applications have, and
+    /// the natural cut lines the offloading algorithms compete to find.
+    pub fn clusters_per_component(mut self, k: usize) -> Self {
+        self.clusters_per_component = k.max(1);
+        self
+    }
+
+    /// Sets the fraction (0–1) of each component's extra edges that run
+    /// between clusters (always drawn light, never from the coupled
+    /// range).
+    pub fn intercluster_fraction(mut self, f: f64) -> Self {
+        self.intercluster_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the weight multiplier applied to edges that touch an
+    /// unoffloadable function (≥ 1 recommended). Sensor and UI code
+    /// moves bulky device data, so its calls are heavier than average —
+    /// this is what makes the device-side core of each component a
+    /// *region* the cut has to respect rather than scattered noise.
+    pub fn pinned_edge_factor(mut self, f: f64) -> Self {
+        self.pinned_edge_factor = f.max(0.0);
+        self
+    }
+
+    /// Sets the RNG seed (same spec + same seed ⇒ identical graph).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Requested node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Requested edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Generates the graph.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetgenError::NoNodes`] for an empty spec;
+    /// - [`NetgenError::TooManyComponents`] when `components > nodes`;
+    /// - [`NetgenError::TooFewEdges`] when the edge budget cannot keep
+    ///   each component connected;
+    /// - [`NetgenError::TooManyEdges`] when the budget exceeds the
+    ///   number of distinct intra-component pairs.
+    pub fn generate(&self) -> Result<Graph, NetgenError> {
+        if self.nodes == 0 {
+            return Err(NetgenError::NoNodes);
+        }
+        if self.components > self.nodes {
+            return Err(NetgenError::TooManyComponents {
+                components: self.components,
+                nodes: self.nodes,
+            });
+        }
+        // split nodes into components of near-equal size
+        let sizes = split_sizes(self.nodes, self.components);
+        let tree_edges: usize = self.nodes - self.components;
+        if self.edges < tree_edges {
+            return Err(NetgenError::TooFewEdges {
+                requested: self.edges,
+                needed: tree_edges,
+            });
+        }
+        let max_edges: usize = sizes.iter().map(|&s| s * (s - 1) / 2).sum();
+        if self.edges > max_edges {
+            return Err(NetgenError::TooManyEdges {
+                requested: self.edges,
+                max: max_edges,
+            });
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut b = GraphBuilder::with_capacity(self.nodes, self.edges);
+        b.parallel_edge_policy(ParallelEdgePolicy::Reject);
+
+        // Unoffloadable functions cluster at the root region of each
+        // component (mobile apps keep sensor/UI code together in a few
+        // modules), instead of being scattered uniformly: the first
+        // ⌊fraction · size⌋ ids of every component are pinned. Tree
+        // construction attaches node k to a random earlier node, so low
+        // ids form each component's topological core.
+        let mut pin_flags = vec![false; self.nodes];
+        {
+            let mut base = 0usize;
+            for &size in &sizes {
+                let pinned_here = ((size as f64) * self.unoffloadable_fraction).floor() as usize;
+                for flag in pin_flags.iter_mut().skip(base).take(pinned_here) {
+                    *flag = true;
+                }
+                base += size;
+            }
+        }
+        for flag in &pin_flags {
+            let w = sample_range(&mut rng, self.node_weight);
+            let _ = b
+                .try_add_node(w, !flag)
+                .expect("sampled weights are valid");
+        }
+
+        // per-component edge budgets: proportional to pair capacity
+        let extra_total = self.edges - tree_edges;
+        let mut budgets: Vec<usize> = Vec::with_capacity(sizes.len());
+        let mut assigned = 0usize;
+        let capacity: Vec<usize> = sizes
+            .iter()
+            .map(|&s| (s * (s - 1) / 2).saturating_sub(s - 1))
+            .collect();
+        let cap_sum: usize = capacity.iter().sum();
+        for (ci, &cap) in capacity.iter().enumerate() {
+            let share = if ci + 1 == capacity.len() || cap_sum == 0 {
+                extra_total - assigned
+            } else {
+                (extra_total as u128 * cap as u128 / cap_sum.max(1) as u128) as usize
+            };
+            let share = share.min(cap);
+            budgets.push(share);
+            assigned += share;
+        }
+        // distribute any remainder greedily where capacity remains
+        let mut leftover = extra_total - assigned;
+        while leftover > 0 {
+            let mut progressed = false;
+            for (bud, &cap) in budgets.iter_mut().zip(&capacity) {
+                if leftover == 0 {
+                    break;
+                }
+                if *bud < cap {
+                    *bud += 1;
+                    leftover -= 1;
+                    progressed = true;
+                }
+            }
+            assert!(progressed, "edge budget exceeds capacity despite validation");
+        }
+
+        // Build each component as a small module graph: every cluster
+        // gets its own spanning tree and dense intra-cluster extras;
+        // clusters are chained by single light connector edges plus a
+        // light sprinkling of inter-cluster extras. Pinned functions
+        // live in cluster 0, so each component has a device-coupled
+        // core and offloadable peripheral modules.
+        let mut base = 0usize;
+        for (ci, &size) in sizes.iter().enumerate() {
+            let ids: Vec<NodeId> = (base..base + size).map(NodeId::new).collect();
+            let boost = |a: usize, c: usize, w: f64| {
+                if pin_flags[a] || pin_flags[c] {
+                    w * self.pinned_edge_factor
+                } else {
+                    w
+                }
+            };
+            let k = self.clusters_per_component.min(size);
+            let cluster_sizes = split_sizes(size, k);
+            // cluster_of[i] and cluster node ranges (offsets into ids)
+            let mut offsets = Vec::with_capacity(k + 1);
+            offsets.push(0usize);
+            for &cs in &cluster_sizes {
+                offsets.push(offsets.last().unwrap() + cs);
+            }
+            let cluster_of = |i: usize| -> usize {
+                offsets.partition_point(|&o| o <= i) - 1
+            };
+            // intra-cluster spanning trees
+            for c in 0..k {
+                let (lo, hi) = (offsets[c], offsets[c + 1]);
+                for i in (lo + 1)..hi {
+                    let parent = lo + rng.gen_range(0..(i - lo));
+                    let w = self.sample_edge_weight(&mut rng);
+                    b.add_edge(ids[parent], ids[i], boost(ids[parent].index(), ids[i].index(), w))
+                        .expect("tree edges are distinct");
+                }
+            }
+            // light connector chain between consecutive clusters
+            for c in 1..k {
+                let a = offsets[c - 1] + rng.gen_range(0..cluster_sizes[c - 1]);
+                let d = offsets[c] + rng.gen_range(0..cluster_sizes[c]);
+                let w = self.sample_light_weight(&mut rng);
+                b.add_edge(ids[a], ids[d], boost(ids[a].index(), ids[d].index(), w))
+                    .expect("connector pairs are fresh");
+            }
+            // split the extras budget between intra- and inter-cluster
+            let budget = budgets[ci];
+            let intra_cap: usize = cluster_sizes
+                .iter()
+                .map(|&cs| (cs * (cs - 1) / 2).saturating_sub(cs.saturating_sub(1)))
+                .sum();
+            let inter_cap: usize = {
+                let all_pairs = size * (size - 1) / 2;
+                let intra_pairs: usize = cluster_sizes.iter().map(|&cs| cs * (cs - 1) / 2).sum();
+                (all_pairs - intra_pairs).saturating_sub(k - 1)
+            };
+            let mut inter_target = (((budget as f64) * self.intercluster_fraction).round()
+                as usize)
+                .min(inter_cap);
+            let mut intra_target = budget - inter_target;
+            if intra_target > intra_cap {
+                inter_target = (inter_target + (intra_target - intra_cap)).min(inter_cap);
+                intra_target = intra_cap;
+            }
+            debug_assert!(intra_target + inter_target == budget || inter_target == inter_cap);
+            // intra extras: rejection-sample inside a random cluster
+            // weighted by remaining capacity
+            let mut added = 0usize;
+            while added < intra_target {
+                let c = rng.gen_range(0..k);
+                let (lo, hi) = (offsets[c], offsets[c + 1]);
+                if hi - lo < 2 {
+                    continue;
+                }
+                let a = lo + rng.gen_range(0..(hi - lo));
+                let d = lo + rng.gen_range(0..(hi - lo));
+                if a == d {
+                    continue;
+                }
+                let w = self.sample_edge_weight(&mut rng);
+                if b
+                    .add_edge(ids[a], ids[d], boost(ids[a].index(), ids[d].index(), w))
+                    .is_ok()
+                {
+                    added += 1;
+                }
+            }
+            // inter extras: always light
+            let mut added = 0usize;
+            while added < inter_target {
+                let a = rng.gen_range(0..size);
+                let d = rng.gen_range(0..size);
+                if a == d || cluster_of(a) == cluster_of(d) {
+                    continue;
+                }
+                let w = self.sample_light_weight(&mut rng);
+                if b
+                    .add_edge(ids[a], ids[d], boost(ids[a].index(), ids[d].index(), w))
+                    .is_ok()
+                {
+                    added += 1;
+                }
+            }
+            base += size;
+        }
+        Ok(b.build())
+    }
+
+    /// Light weights for inter-cluster edges: the bottom third of the
+    /// ordinary range, never coupled.
+    fn sample_light_weight(&self, rng: &mut ChaCha8Rng) -> f64 {
+        let (lo, hi) = self.edge_weight;
+        sample_range(rng, (lo, lo + (hi - lo) / 3.0))
+    }
+
+    fn sample_edge_weight(&self, rng: &mut ChaCha8Rng) -> f64 {
+        if rng.gen_bool(self.coupled_fraction) {
+            sample_range(rng, self.coupled_weight)
+        } else {
+            sample_range(rng, self.edge_weight)
+        }
+    }
+}
+
+fn sample_range(rng: &mut ChaCha8Rng, (lo, hi): (f64, f64)) -> f64 {
+    if hi > lo {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+fn split_sizes(nodes: usize, components: usize) -> Vec<usize> {
+    let basic = nodes / components;
+    let extra = nodes % components;
+    (0..components)
+        .map(|i| basic + usize::from(i < extra))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::ComponentLabeling;
+
+    #[test]
+    fn exact_node_and_edge_counts() {
+        let g = NetgenSpec::new(100, 300).seed(1).generate().unwrap();
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 300);
+        assert_eq!(g.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NetgenSpec::new(80, 200).seed(42).generate().unwrap();
+        let b = NetgenSpec::new(80, 200).seed(42).generate().unwrap();
+        let c = NetgenSpec::new(80, 200).seed(43).generate().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn component_count_is_respected() {
+        let g = NetgenSpec::new(120, 360).components(4).seed(3).generate().unwrap();
+        let labeling = ComponentLabeling::compute(&g);
+        assert_eq!(labeling.count(), 4);
+        let sizes = labeling.sizes();
+        assert!(sizes.iter().all(|&s| s == 30));
+    }
+
+    #[test]
+    fn single_component_is_connected() {
+        let g = NetgenSpec::new(60, 100).components(1).seed(5).generate().unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn weights_respect_ranges() {
+        let g = NetgenSpec::new(50, 120)
+            .components(1)
+            .pinned_edge_factor(1.0)
+            .node_weight_range(5.0, 6.0)
+            .edge_weight_range(1.0, 2.0)
+            .coupled_weight_range(100.0, 101.0)
+            .coupled_fraction(0.5)
+            .seed(9)
+            .generate()
+            .unwrap();
+        for n in g.node_ids() {
+            let w = g.node_weight(n);
+            assert!((5.0..6.0).contains(&w));
+        }
+        let mut coupled = 0usize;
+        for e in g.edges() {
+            assert!(
+                (1.0..2.0).contains(&e.weight) || (100.0..101.0).contains(&e.weight),
+                "weight {} outside both ranges",
+                e.weight
+            );
+            if e.weight >= 100.0 {
+                coupled += 1;
+            }
+        }
+        // 50% coupled with generous tolerance
+        let frac = coupled as f64 / g.edge_count() as f64;
+        assert!((0.3..0.7).contains(&frac), "coupled fraction {frac}");
+    }
+
+    #[test]
+    fn unoffloadable_fraction_is_applied_per_component() {
+        let g = NetgenSpec::new(200, 500)
+            .components(2)
+            .unoffloadable_fraction(0.25)
+            .seed(11)
+            .generate()
+            .unwrap();
+        let pinned = g.node_ids().filter(|&n| !g.is_offloadable(n)).count();
+        assert_eq!(pinned, 50);
+        // pinned ids cluster at each component's low-id core
+        assert!(!g.is_offloadable(mec_graph::NodeId::new(0)));
+        assert!(g.is_offloadable(mec_graph::NodeId::new(99)));
+        assert!(!g.is_offloadable(mec_graph::NodeId::new(100)));
+    }
+
+    #[test]
+    fn pinned_edge_factor_boosts_pin_incident_edges() {
+        let base = NetgenSpec::new(60, 150).seed(4).pinned_edge_factor(1.0).generate().unwrap();
+        let boosted = NetgenSpec::new(60, 150).seed(4).pinned_edge_factor(5.0).generate().unwrap();
+        let pin_weight = |g: &mec_graph::Graph| -> f64 {
+            g.edges()
+                .filter(|e| !g.is_offloadable(e.source) || !g.is_offloadable(e.target))
+                .map(|e| e.weight)
+                .sum()
+        };
+        assert!((pin_weight(&boosted) - 5.0 * pin_weight(&base)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_unoffloadable_fraction() {
+        let g = NetgenSpec::new(30, 60)
+            .unoffloadable_fraction(0.0)
+            .seed(2)
+            .generate()
+            .unwrap();
+        assert!(g.node_ids().all(|n| g.is_offloadable(n)));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(NetgenSpec::new(0, 0).generate(), Err(NetgenError::NoNodes));
+        assert!(matches!(
+            NetgenSpec::new(10, 2).components(1).generate(),
+            Err(NetgenError::TooFewEdges { needed: 9, .. })
+        ));
+        assert!(matches!(
+            NetgenSpec::new(4, 100).components(1).generate(),
+            Err(NetgenError::TooManyEdges { max: 6, .. })
+        ));
+        assert!(matches!(
+            NetgenSpec::new(3, 3).components(5).generate(),
+            Err(NetgenError::TooManyComponents { .. })
+        ));
+    }
+
+    #[test]
+    fn table1_presets_have_published_sizes() {
+        for (nodes, edges) in NetgenSpec::table1_rows() {
+            let spec = NetgenSpec::paper_network(nodes, edges);
+            assert_eq!(spec.node_count(), nodes);
+            assert_eq!(spec.edge_count(), edges);
+        }
+        // generate the smallest row end-to-end
+        let (n, e) = NetgenSpec::table1_rows()[0];
+        let g = NetgenSpec::paper_network(n, e).seed(1).generate().unwrap();
+        assert_eq!(g.node_count(), 250);
+        assert_eq!(g.edge_count(), 1214);
+    }
+
+    #[test]
+    fn dense_budget_saturates_components() {
+        // complete graph on 6 nodes in 2 components of 3: max = 2 * 3 = 6
+        let g = NetgenSpec::new(6, 6).components(2).seed(1).generate().unwrap();
+        assert_eq!(g.edge_count(), 6);
+        let labeling = ComponentLabeling::compute(&g);
+        assert_eq!(labeling.count(), 2);
+    }
+
+    #[test]
+    fn generated_components_have_real_module_structure() {
+        // the intended clusters must score high modularity — this is
+        // what gives the cut algorithms something to find
+        let g = NetgenSpec::new(125, 500).components(1).seed(8).generate().unwrap();
+        let k = 4;
+        let sizes = super::split_sizes(125, k);
+        let mut raw = Vec::new();
+        for (c, &s) in sizes.iter().enumerate() {
+            raw.extend(std::iter::repeat_n(c, s));
+        }
+        let intended = mec_graph::NodeGrouping::from_raw(&raw);
+        let q = g.modularity(&intended);
+        assert!(q > 0.3, "intended clusters score modularity {q}");
+        // random grouping scores far worse
+        let shuffled: Vec<usize> = (0..125).map(|i| (i * 7) % k).collect();
+        let q_rand = g.modularity(&mec_graph::NodeGrouping::from_raw(&shuffled));
+        assert!(q > q_rand + 0.2, "clusters {q} vs random {q_rand}");
+    }
+
+    #[test]
+    fn pinned_coupling_concentrates_in_the_core() {
+        let g = NetgenSpec::new(120, 400).components(1).seed(3).generate().unwrap();
+        // boosted pinned edges make device coupling a visible fraction
+        let frac = g.pinned_coupling_fraction();
+        assert!(frac > 0.10, "pinned coupling fraction {frac}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NetgenError::NoNodes.to_string().contains("at least one"));
+        assert!(NetgenError::TooFewEdges { requested: 1, needed: 5 }
+            .to_string()
+            .contains("need at least 5"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Generator contracts that must hold for every feasible spec: exact
+//! counts, per-component connectivity, pin placement, determinism.
+
+use mec_graph::ComponentLabeling;
+use mec_netgen::NetgenSpec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct SpecCase {
+    nodes: usize,
+    edges: usize,
+    comps: usize,
+    pin: f64,
+    seed: u64,
+}
+
+fn arb_spec() -> impl Strategy<Value = SpecCase> {
+    (30usize..200, 1usize..4, 0.0f64..0.4, 0u64..1000, 1.0f64..2.5).prop_map(
+        |(nodes, comps, pin, seed, density)| SpecCase {
+            nodes,
+            edges: (nodes as f64 * density) as usize,
+            comps,
+            pin,
+            seed,
+        },
+    )
+}
+
+fn build(case: &SpecCase) -> mec_graph::Graph {
+    NetgenSpec::new(case.nodes, case.edges.max(case.nodes))
+        .components(case.comps)
+        .unoffloadable_fraction(case.pin)
+        .seed(case.seed)
+        .generate()
+        .expect("sampled specs stay feasible")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_node_and_edge_counts(case in arb_spec()) {
+        let g = build(&case);
+        prop_assert_eq!(g.node_count(), case.nodes);
+        prop_assert_eq!(g.edge_count(), case.edges.max(case.nodes));
+        prop_assert_eq!(g.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn components_are_connected_and_counted(case in arb_spec()) {
+        let g = build(&case);
+        let labeling = ComponentLabeling::compute(&g);
+        prop_assert_eq!(labeling.count(), case.comps);
+        // connectivity of each component is implied by the labelling
+        // having exactly `comps` classes plus each class being one BFS
+        // region; assert sizes are near-equal (generator contract)
+        let sizes = labeling.sizes();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "components must be near-equal: {sizes:?}");
+    }
+
+    #[test]
+    fn pins_cluster_at_component_cores(case in arb_spec()) {
+        let g = build(&case);
+        let labeling = ComponentLabeling::compute(&g);
+        for members in labeling.members() {
+            let pinned: Vec<bool> = members.iter().map(|&n| !g.is_offloadable(n)).collect();
+            let expected = ((members.len() as f64) * case.pin).floor() as usize;
+            prop_assert_eq!(pinned.iter().filter(|&&p| p).count(), expected);
+            // pins occupy a prefix of the component's id range
+            for (i, &is_pinned) in pinned.iter().enumerate() {
+                prop_assert_eq!(is_pinned, i < expected, "pin not in core prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_finite_and_positive(case in arb_spec()) {
+        let g = build(&case);
+        for n in g.node_ids() {
+            let w = g.node_weight(n);
+            prop_assert!(w.is_finite() && w > 0.0);
+        }
+        for e in g.edges() {
+            prop_assert!(e.weight.is_finite() && e.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_graph_different_seed_differs(case in arb_spec()) {
+        let a = build(&case);
+        let b = build(&case);
+        prop_assert_eq!(&a, &b);
+        let mut other = case.clone();
+        other.seed = case.seed.wrapping_add(1);
+        let c = build(&other);
+        prop_assert_ne!(&a, &c);
+    }
+}

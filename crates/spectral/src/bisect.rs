@@ -1,0 +1,436 @@
+//! Fiedler-vector bipartitioning.
+
+use crate::{GraphLaplacian, SpectralError};
+use mec_engine::{Cluster, ParallelLaplacian};
+use mec_graph::{Bipartition, Graph, Side};
+use mec_linalg::{smallest_eigenpairs, LanczosOptions};
+use std::sync::Arc;
+
+/// How the Fiedler vector is turned into two node sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitRule {
+    /// Nodes with non-negative Fiedler components go remote, the rest
+    /// stay local — the paper's `q_i = ±1` indicator (default). On
+    /// module-structured workloads the sign boundary tracks the true
+    /// cluster boundary and consistently beats the sweep variants in
+    /// end-to-end objective (see the `ablate` experiment). Falls back
+    /// to [`Median`](SplitRule::Median) if numerics put every node on
+    /// one side.
+    #[default]
+    Sign,
+    /// Ratio-cut sweep: sort nodes by Fiedler component and take the
+    /// prefix split minimising `cut / (|A| · |B|)` — the classic
+    /// spectral-clustering objective. More robust than [`Sign`](SplitRule::Sign) on
+    /// graphs without clean module structure.
+    RatioSweep,
+    /// Minimum-weight sweep: the prefix split with the smallest cut
+    /// weight, regardless of balance. Matches the exact minimum cut on
+    /// well-separated graphs but tends to peel single nodes.
+    Sweep,
+    /// Split at the median component: both halves are guaranteed
+    /// non-empty (sizes differ by at most one).
+    Median,
+}
+
+/// The result of a spectral bisection.
+#[derive(Debug, Clone)]
+pub struct SpectralCut {
+    /// Node assignment (Fiedler-positive side is
+    /// [`Side::Remote`](mec_graph::Side)).
+    pub partition: Bipartition,
+    /// The second-smallest Laplacian eigenvalue `λ₂` (the algebraic
+    /// connectivity; the paper's Theorem 1 reads the minimum cut off
+    /// this eigenvalue's eigenvector).
+    pub fiedler_value: f64,
+    /// The corresponding unit eigenvector, sign-normalised so its
+    /// first non-zero component is positive.
+    pub fiedler_vector: Vec<f64>,
+    /// Communication weight crossing the partition.
+    pub cut_weight: f64,
+}
+
+/// Spectral bipartitioner: Laplacian → Fiedler pair → split.
+///
+/// The eigensolver can run serially or with its matrix-vector products
+/// sharded over a [`Cluster`] — the paper's Spark configuration
+/// (`with_cluster`).
+#[derive(Debug, Clone, Default)]
+pub struct SpectralBisector {
+    lanczos: LanczosOptions,
+    split: SplitRule,
+    cluster: Option<(Arc<Cluster>, usize)>,
+}
+
+impl SpectralBisector {
+    /// A serial bisector with default eigensolver options and the
+    /// [`SplitRule::Sign`] rule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the eigensolver options.
+    pub fn lanczos_options(mut self, opts: LanczosOptions) -> Self {
+        self.lanczos = opts;
+        self
+    }
+
+    /// Sets the split rule.
+    pub fn split_rule(mut self, rule: SplitRule) -> Self {
+        self.split = rule;
+        self
+    }
+
+    /// Runs the Laplacian products on `cluster`, sharded into `blocks`
+    /// row blocks — the "with Spark" configuration of the paper's
+    /// Fig. 9.
+    pub fn with_cluster(mut self, cluster: Arc<Cluster>, blocks: usize) -> Self {
+        self.cluster = Some((cluster, blocks.max(1)));
+        self
+    }
+
+    /// Reverts to the serial backend.
+    pub fn serial(mut self) -> Self {
+        self.cluster = None;
+        self
+    }
+
+    /// `true` when a cluster backend is configured.
+    pub fn is_parallel(&self) -> bool {
+        self.cluster.is_some()
+    }
+
+    /// Bisects `g` along its Fiedler vector.
+    ///
+    /// A single-node graph yields the trivial cut (the node on
+    /// [`Side::Remote`], zero weight, `λ₂ = 0`). Disconnected graphs
+    /// are fine: `λ₂ = 0` and the eigenvector separates components, so
+    /// the returned cut has zero weight.
+    ///
+    /// # Errors
+    ///
+    /// - [`SpectralError::EmptyGraph`] when `g` has no nodes;
+    /// - [`SpectralError::Eigensolver`] if the Fiedler pair cannot be
+    ///   computed.
+    pub fn bisect(&self, g: &Graph) -> Result<SpectralCut, SpectralError> {
+        let n = g.node_count();
+        if n == 0 {
+            return Err(SpectralError::EmptyGraph);
+        }
+        if n == 1 {
+            let partition = Bipartition::uniform(1, Side::Remote);
+            return Ok(SpectralCut {
+                partition,
+                fiedler_value: 0.0,
+                fiedler_vector: vec![1.0],
+                cut_weight: 0.0,
+            });
+        }
+        let pairs = match &self.cluster {
+            None => {
+                let l = GraphLaplacian::new(g);
+                smallest_eigenpairs(&l, 2, &self.lanczos)?
+            }
+            Some((cluster, blocks)) => {
+                let edges: Vec<(usize, usize, f64)> = g
+                    .edges()
+                    .map(|e| (e.source.index(), e.target.index(), e.weight))
+                    .collect();
+                let l = ParallelLaplacian::from_edges(Arc::clone(cluster), n, &edges, *blocks)
+                    .expect("block count is at least 1");
+                smallest_eigenpairs(&l, 2, &self.lanczos)?
+            }
+        };
+        let fiedler_value = pairs[1].value;
+        let mut fiedler_vector = pairs[1].vector.clone();
+        // canonical sign: first non-zero component positive
+        if let Some(first) = fiedler_vector.iter().find(|v| v.abs() > 1e-12) {
+            if *first < 0.0 {
+                for v in &mut fiedler_vector {
+                    *v = -*v;
+                }
+            }
+        }
+        // Disconnected graph: λ₂ = 0 with multiplicity, and the returned
+        // null-space vector is only piecewise-constant per component — a
+        // component whose constant is ~0 could be torn apart by sign
+        // noise. The true minimum cut is trivially 0, so split along
+        // actual connected components instead.
+        if fiedler_value.abs() <= 1e-9 {
+            let labeling = mec_graph::ComponentLabeling::compute(g);
+            if labeling.count() >= 2 {
+                let partition = Bipartition::from_fn(n, |i| {
+                    if labeling.component_of(mec_graph::NodeId::new(i)) == 0 {
+                        Side::Local
+                    } else {
+                        Side::Remote
+                    }
+                });
+                return Ok(SpectralCut {
+                    partition,
+                    fiedler_value,
+                    fiedler_vector,
+                    cut_weight: 0.0,
+                });
+            }
+        }
+        let partition = match self.split {
+            SplitRule::RatioSweep => sweep_cut(g, &fiedler_vector, SweepObjective::RatioCut),
+            SplitRule::Sweep => sweep_cut(g, &fiedler_vector, SweepObjective::CutWeight),
+            rule => split_vector(&fiedler_vector, rule),
+        };
+        let cut_weight = partition.cut_weight(g);
+        Ok(SpectralCut {
+            partition,
+            fiedler_value,
+            fiedler_vector,
+            cut_weight,
+        })
+    }
+}
+
+/// What a sweep minimises over the prefix splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepObjective {
+    /// Raw crossing weight.
+    CutWeight,
+    /// `cut / (|A| · |B|)` — the ratio-cut score.
+    RatioCut,
+}
+
+/// Sweep cut: nodes sorted by Fiedler component; every prefix split is
+/// priced incrementally and the best-scoring proper one wins. Ties in
+/// the ordering break by node id, ties in score by the more balanced
+/// split.
+fn sweep_cut(g: &Graph, v: &[f64], objective: SweepObjective) -> Bipartition {
+    let n = v.len();
+    debug_assert!(n >= 2);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        v[a].partial_cmp(&v[b])
+            .expect("components are finite")
+            .then(a.cmp(&b))
+    });
+    let mut local = vec![false; n];
+    let mut cut = 0.0f64;
+    let mut best = (f64::INFINITY, 0usize, usize::MAX); // (weight, |k - n/2| dist, k)
+    for (k, &node) in order.iter().enumerate().take(n - 1) {
+        // moving `node` from Remote to Local
+        let id = mec_graph::NodeId::new(node);
+        for nb in g.neighbors(id) {
+            let w = g.edge_weight(nb.edge);
+            if local[nb.node.index()] {
+                cut -= w; // edge no longer crosses
+            } else {
+                cut += w; // edge starts crossing
+            }
+        }
+        local[node] = true;
+        let prefix = k + 1;
+        let balance_dist = prefix.abs_diff(n / 2);
+        let score = match objective {
+            SweepObjective::CutWeight => cut,
+            SweepObjective::RatioCut => cut / (prefix as f64 * (n - prefix) as f64),
+        };
+        if score < best.0 - 1e-12 || (score <= best.0 + 1e-12 && balance_dist < best.1) {
+            best = (score, balance_dist, prefix);
+        }
+    }
+    let split_at = best.2;
+    let mut sides = vec![Side::Remote; n];
+    for &node in order.iter().take(split_at) {
+        sides[node] = Side::Local;
+    }
+    Bipartition::from_sides(sides)
+}
+
+fn split_vector(v: &[f64], rule: SplitRule) -> Bipartition {
+    let by_sign = Bipartition::from_fn(v.len(), |i| {
+        if v[i] >= 0.0 {
+            Side::Remote
+        } else {
+            Side::Local
+        }
+    });
+    match rule {
+        SplitRule::Sweep | SplitRule::RatioSweep => {
+            unreachable!("sweeps are handled by sweep_cut")
+        }
+        SplitRule::Sign if by_sign.is_proper() => by_sign,
+        SplitRule::Sign | SplitRule::Median => {
+            let mut order: Vec<usize> = (0..v.len()).collect();
+            order.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("components are finite"));
+            let half = v.len() / 2;
+            let mut sides = vec![Side::Remote; v.len()];
+            for &i in order.iter().take(half) {
+                sides[i] = Side::Local;
+            }
+            Bipartition::from_sides(sides)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_graph::GraphBuilder;
+    use mec_netgen::NetgenSpec;
+
+    /// Two heavy cliques of size `k` joined by a single light edge.
+    fn dumbbell(k: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..2 * k).map(|_| b.add_node(1.0)).collect();
+        for side in 0..2 {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    b.add_edge(n[side * k + i], n[side * k + j], 8.0).unwrap();
+                }
+            }
+        }
+        b.add_edge(n[k - 1], n[k], 0.25).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn finds_the_bridge_cut() {
+        for k in [3usize, 6, 20] {
+            let g = dumbbell(k);
+            let cut = SpectralBisector::new().bisect(&g).unwrap();
+            assert_eq!(cut.cut_weight, 0.25, "k={k}");
+            assert!(cut.partition.is_proper());
+            assert_eq!(cut.partition.count_on(Side::Local), k);
+        }
+    }
+
+    #[test]
+    fn fiedler_value_is_algebraic_connectivity() {
+        // P_2 with weight w: lambda2 = 2w
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(1.0);
+        let y = b.add_node(1.0);
+        b.add_edge(x, y, 3.0).unwrap();
+        let cut = SpectralBisector::new().bisect(&b.build()).unwrap();
+        assert!((cut.fiedler_value - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_graph_cut_is_zero() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 5.0).unwrap();
+        b.add_edge(n[2], n[3], 5.0).unwrap();
+        let cut = SpectralBisector::new().bisect(&b.build()).unwrap();
+        assert!(cut.fiedler_value.abs() < 1e-9);
+        assert_eq!(cut.cut_weight, 0.0);
+        assert!(cut.partition.is_proper());
+    }
+
+    #[test]
+    fn single_node_graph_is_trivial() {
+        let mut b = GraphBuilder::new();
+        b.add_node(5.0);
+        let cut = SpectralBisector::new().bisect(&b.build()).unwrap();
+        assert_eq!(cut.cut_weight, 0.0);
+        assert_eq!(cut.partition.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_an_error() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(
+            SpectralBisector::new().bisect(&g).unwrap_err(),
+            SpectralError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn median_split_always_balances() {
+        let g = dumbbell(4);
+        let cut = SpectralBisector::new()
+            .split_rule(SplitRule::Median)
+            .bisect(&g)
+            .unwrap();
+        assert_eq!(cut.partition.count_on(Side::Local), 4);
+        assert_eq!(cut.partition.count_on(Side::Remote), 4);
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial() {
+        let g = NetgenSpec::new(120, 400).components(1).seed(3).generate().unwrap();
+        let serial = SpectralBisector::new().bisect(&g).unwrap();
+        let cluster = Arc::new(Cluster::new(4).unwrap());
+        let parallel = SpectralBisector::new()
+            .with_cluster(cluster, 6)
+            .bisect(&g)
+            .unwrap();
+        assert!((serial.fiedler_value - parallel.fiedler_value).abs() < 1e-7);
+        assert_eq!(serial.partition, parallel.partition);
+        assert!(parallel.cut_weight <= serial.cut_weight + 1e-9);
+    }
+
+    #[test]
+    fn is_parallel_reflects_backend() {
+        let b = SpectralBisector::new();
+        assert!(!b.is_parallel());
+        let cluster = Arc::new(Cluster::new(2).unwrap());
+        let b2 = b.clone().with_cluster(cluster, 4);
+        assert!(b2.is_parallel());
+        assert!(!b2.serial().is_parallel());
+    }
+
+    #[test]
+    fn sweep_never_loses_to_sign_or_median() {
+        for seed in [1u64, 4, 9, 16] {
+            let g = NetgenSpec::new(80, 250).components(1).seed(seed).generate().unwrap();
+            let sweep = SpectralBisector::new()
+                .split_rule(SplitRule::Sweep)
+                .bisect(&g)
+                .unwrap();
+            for rule in [SplitRule::Sign, SplitRule::Median] {
+                let other = SpectralBisector::new().split_rule(rule).bisect(&g).unwrap();
+                assert!(
+                    sweep.cut_weight <= other.cut_weight + 1e-9,
+                    "seed {seed}: sweep {} vs {:?} {}",
+                    sweep.cut_weight,
+                    rule,
+                    other.cut_weight
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_proper_and_matches_reported_weight() {
+        let g = NetgenSpec::new(60, 150).components(1).seed(2).generate().unwrap();
+        let cut = SpectralBisector::new().bisect(&g).unwrap();
+        assert!(cut.partition.is_proper());
+        assert!((cut.partition.cut_weight(&g) - cut.cut_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_cut_beats_random_cuts_on_structured_graphs() {
+        let g = NetgenSpec::new(150, 500).components(1).seed(11).generate().unwrap();
+        let spectral = SpectralBisector::new().bisect(&g).unwrap();
+        // compare against 20 random balanced cuts
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut best_random = f64::INFINITY;
+        for _ in 0..20 {
+            let p = Bipartition::from_fn(g.node_count(), |_| {
+                if rng.gen_bool(0.5) {
+                    Side::Local
+                } else {
+                    Side::Remote
+                }
+            });
+            if p.is_proper() {
+                best_random = best_random.min(p.cut_weight(&g));
+            }
+        }
+        assert!(
+            spectral.cut_weight < best_random,
+            "spectral {} vs best random {}",
+            spectral.cut_weight,
+            best_random
+        );
+    }
+}

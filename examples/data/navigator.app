@@ -1,0 +1,42 @@
+# A turn-by-turn navigation app, profiled at function level.
+# Weights are relative compute units; volumes are relative data units.
+app navigator
+
+component sensing
+  fn read_gps        2   sensor
+  fn read_compass    1   sensor
+  fn fuse_position  18   pure
+  fn snap_to_road   25   pure
+
+component routing
+  fn build_query     3   pure
+  fn plan_route     90   pure
+  fn rerank_routes  40   pure
+  fn eta_model      35   pure
+
+component guidance
+  fn next_maneuver  12   pure
+  fn speak_prompt    6   io
+  fn draw_map       20   ui
+  fn draw_overlay    8   ui
+
+component telemetry
+  fn batch_events    4   pure
+  fn compress_batch 15   pure
+  fn write_journal   3   io
+
+call read_gps      -> fuse_position   30
+call read_compass  -> fuse_position   10
+call fuse_position -> snap_to_road    12
+call snap_to_road  -> build_query      4
+call build_query   -> plan_route       5
+call plan_route    -> rerank_routes   22
+call rerank_routes -> eta_model       14
+call eta_model     -> next_maneuver    3
+call next_maneuver -> speak_prompt     1
+call next_maneuver -> draw_overlay     2
+call snap_to_road  -> draw_map        16
+call draw_map      -> draw_overlay     6
+call fuse_position -> batch_events     2
+call batch_events  -> compress_batch   8
+call compress_batch -> write_journal    2

@@ -1,0 +1,62 @@
+//! File-based workflow: load a profiled application from a spec file,
+//! inspect its structure, and decide its offloading plan.
+//!
+//! This is the workflow a real adopter follows: profile the app once,
+//! commit `*.app` to the repo, re-run placement whenever the deployment
+//! parameters change.
+//!
+//! Run with: `cargo run --release --example spec_file_workflow`
+
+use copmecs::app::Application;
+use copmecs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data/navigator.app");
+    let app = Application::from_spec_str(&std::fs::read_to_string(spec_path)?)?;
+
+    println!("loaded '{}' from {spec_path}", app.name());
+    println!(
+        "  {} components, {} functions ({} pinned), {} calls",
+        app.component_count(),
+        app.function_count(),
+        app.pinned_functions().count(),
+        app.call_count()
+    );
+
+    let extracted = app.extract();
+    let g = &extracted.graph;
+    println!(
+        "  graph: density {:.3}, clustering {:.3}, pinned coupling {:.0}%",
+        g.density(),
+        g.clustering_coefficient(),
+        100.0 * g.pinned_coupling_fraction()
+    );
+
+    // two deployments: a congested cell vs a fast one
+    for (label, bandwidth) in [("congested cell (b = 8)", 8.0), ("fast cell (b = 60)", 60.0)] {
+        let params = SystemParams {
+            bandwidth,
+            ..SystemParams::default()
+        };
+        let scenario = Scenario::new(params)
+            .with_user(UserWorkload::new("driver", extracted.graph.clone()));
+        let report = Offloader::new().solve(&scenario)?;
+        println!("\n== {label} ==");
+        for (fid, f) in app.functions() {
+            let side = report.plan[0].side(extracted.node_of(fid));
+            if side == Side::Remote {
+                println!("  offload {:<16} ({} units)", f.name, f.compute_weight);
+            }
+        }
+        let t = &report.evaluation.totals;
+        println!(
+            "  E = {:.2}, T = {:.2}, objective = {:.2}",
+            t.energy,
+            t.time,
+            t.objective()
+        );
+    }
+
+    println!("\ntip: `app.to_dot()` renders the call structure for graphviz.");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Cut-strategy face-off: spectral vs max-flow vs Kernighan–Lin.
+//!
+//! Runs the identical workload through the pipeline once per cut
+//! strategy (the comparison behind the paper's Figs. 3–5), prints the
+//! resulting energy split and stage timings, and cross-checks the cut
+//! quality of each strategy against the exact Stoer–Wagner global
+//! minimum cut on the compressed components.
+//!
+//! Run with: `cargo run --release --example strategy_faceoff`
+
+use copmecs::baselines::stoer_wagner;
+use copmecs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = NetgenSpec::new(600, 2600).components(5).seed(99).generate()?;
+    let scenario = Scenario::new(SystemParams::default())
+        .with_user(UserWorkload::new("phone", graph.clone()));
+
+    println!(
+        "workload: {} functions, {} edges, 5 components\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    println!(
+        "{:>18} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "strategy", "local E", "tx E", "E+T", "offloaded", "time(ms)"
+    );
+
+    for kind in [
+        StrategyKind::Spectral,
+        StrategyKind::MaxFlow,
+        StrategyKind::KernighanLin,
+    ] {
+        let offloader = Offloader::builder().strategy(kind).build();
+        let report = offloader.solve(&scenario)?;
+        let t = &report.evaluation.totals;
+        println!(
+            "{:>18} {:>10.2} {:>10.2} {:>10.2} {:>12} {:>10.2}",
+            report.strategy,
+            t.local_energy,
+            t.tx_energy,
+            t.objective(),
+            report.plan[0].count_on(Side::Remote),
+            report.timings.total().as_secs_f64() * 1e3,
+        );
+    }
+
+    // --- ground truth on the compressed components -------------------
+    println!("\ncut quality on compressed components (lower = better):");
+    let compressor = Compressor::new(CompressionConfig::default());
+    let outcome = compressor.compress(&graph);
+    println!(
+        "{:>6} {:>10} {:>11} {:>10} {:>10} {:>12}",
+        "comp", "spec-sign", "spec-sweep", "max-flow", "KL", "exact (SW)"
+    );
+    for (i, comp) in outcome.components.iter().enumerate() {
+        let q = comp.quotient.graph();
+        if q.node_count() < 2 {
+            continue;
+        }
+        let sign = SpectralBisector::new().bisect(q)?.cut_weight;
+        let sweep = SpectralBisector::new()
+            .split_rule(SplitRule::Sweep)
+            .bisect(q)?
+            .cut_weight;
+        let mf = copmecs::baselines::MaxFlowBisector::new()
+            .bisect(q)?
+            .cut_weight(q);
+        let kl = copmecs::baselines::KernighanLin::new()
+            .bisect(q)?
+            .cut_weight(q);
+        let exact = stoer_wagner(q)?.cut_weight;
+        println!("{i:>6} {sign:>10.2} {sweep:>11.2} {mf:>10.2} {kl:>10.2} {exact:>12.2}");
+    }
+    println!("\n(spec-sweep chases raw minimum weight and matches the exact cut;");
+    println!(" the default sign split trades some weight for balanced module");
+    println!(" separation, which wins once the pipeline objective is priced.)");
+    Ok(())
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from the JSON the experiment harness
+writes into results/.
+
+Usage:
+    cargo run --release -p mec-bench --bin experiments -- all
+    python3 scripts/plot_figures.py [results_dir] [output_dir]
+
+Requires matplotlib. Produces fig3.png ... fig9.png mirroring the
+paper's bar charts (Figs. 3-8, normalised) and runtime curves (Fig. 9).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+RESULTS = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+OUT = Path(sys.argv[2] if len(sys.argv) > 2 else "results")
+
+ENERGY_FIGS = {
+    "fig3": ("local_energy", "size", "original graph size", "local (normalised)"),
+    "fig4": ("tx_energy", "size", "original graph size", "transmission (normalised)"),
+    "fig5": ("total_energy", "size", "original graph size", "total consumption (normalised)"),
+    "fig6": ("local_energy", "users", "user size", "local (normalised)"),
+    "fig7": ("tx_energy", "users", "user size", "transmission (normalised)"),
+    "fig8": ("total_energy", "users", "user size", "total consumption (normalised)"),
+}
+
+
+def grouped_bars(points, metric, xkey, xlabel, ylabel, path):
+    xs = sorted({p[xkey] for p in points})
+    strategies = []
+    for p in points:
+        if p["strategy"] not in strategies:
+            strategies.append(p["strategy"])
+    peak = max(p[metric] for p in points) or 1.0
+    width = 0.8 / len(strategies)
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for si, strat in enumerate(strategies):
+        vals = []
+        for x in xs:
+            match = [p for p in points if p[xkey] == x and p["strategy"] == strat]
+            vals.append(match[0][metric] / peak if match else 0.0)
+        offs = [i + (si - (len(strategies) - 1) / 2) * width for i in range(len(xs))]
+        bars = ax.bar(offs, vals, width=width, label=strat)
+        for rect, v in zip(bars, vals):
+            ax.annotate(
+                f"{v:.2f}",
+                (rect.get_x() + rect.get_width() / 2, rect.get_height()),
+                ha="center",
+                va="bottom",
+                fontsize=7,
+            )
+    ax.set_xticks(range(len(xs)), [str(x) for x in xs])
+    ax.set_xlabel(xlabel)
+    ax.set_ylabel(ylabel)
+    ax.set_ylim(0, 1.5)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    plt.close(fig)
+    print(f"wrote {path}")
+
+
+def runtime_curves(points, path):
+    variants = []
+    for p in points:
+        if p["variant"] not in variants:
+            variants.append(p["variant"])
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for variant in variants:
+        series = [(p["size"], p["seconds"]) for p in points if p["variant"] == variant]
+        series.sort()
+        ax.plot([s for s, _ in series], [t for _, t in series], marker="o", label=variant)
+    ax.set_xlabel("original graph size")
+    ax.set_ylabel("running time (s)")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    plt.close(fig)
+    print(f"wrote {path}")
+
+
+def main():
+    for fig, (metric, xkey, xlabel, ylabel) in ENERGY_FIGS.items():
+        src = RESULTS / f"{fig}.json"
+        if not src.exists():
+            print(f"skipping {fig}: {src} not found")
+            continue
+        points = json.loads(src.read_text())
+        grouped_bars(points, metric, xkey, xlabel, ylabel, OUT / f"{fig}.png")
+    src = RESULTS / "fig9.json"
+    if src.exists():
+        runtime_curves(json.loads(src.read_text()), OUT / "fig9.png")
+    else:
+        print(f"skipping fig9: {src} not found")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+//! Multi-user behaviour of the whole pipeline: server contention,
+//! allocation policies, crowd monotonicity.
+
+use copmecs::prelude::*;
+use std::sync::Arc;
+
+fn crowd(users: usize, policy: AllocationPolicy, server_capacity: f64) -> Scenario {
+    let pool: Vec<Arc<Graph>> = (0..3)
+        .map(|i| {
+            Arc::new(
+                NetgenSpec::new(120, 420)
+                    .seed(100 + i)
+                    .generate()
+                    .unwrap(),
+            )
+        })
+        .collect();
+    let params = SystemParams {
+        allocation: policy,
+        server_capacity,
+        ..SystemParams::default()
+    };
+    Scenario::new(params).with_users(
+        (0..users).map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % 3]))),
+    )
+}
+
+fn offloaded_work_fraction(report: &copmecs::core::OffloadReport, s: &Scenario) -> f64 {
+    let mut remote = 0.0;
+    let mut total = 0.0;
+    for (user, plan) in s.users().iter().zip(&report.plan) {
+        let g = user.graph();
+        remote += plan.node_weight_on(g, Side::Remote);
+        total += g.total_node_weight();
+    }
+    remote / total
+}
+
+#[test]
+fn growing_crowds_never_offload_more() {
+    let offloader = Offloader::new();
+    let mut last = f64::INFINITY;
+    for users in [2usize, 8, 32] {
+        let s = crowd(users, AllocationPolicy::EqualShare, 800.0);
+        let report = offloader.solve(&s).unwrap();
+        let frac = offloaded_work_fraction(&report, &s);
+        assert!(
+            frac <= last + 1e-9,
+            "{users} users offload {frac}, more than smaller crowd {last}"
+        );
+        last = frac;
+    }
+}
+
+#[test]
+fn mid_sized_crowd_reaches_partial_equilibrium() {
+    // the server can profitably host only part of this crowd's work:
+    // the plan must offload something, but strictly less work than the
+    // same crowd with an oversized server
+    let contended = crowd(24, AllocationPolicy::EqualShare, 120.0);
+    let relaxed = crowd(24, AllocationPolicy::EqualShare, 50_000.0);
+    let offloader = Offloader::new();
+    let frac_contended =
+        offloaded_work_fraction(&offloader.solve(&contended).unwrap(), &contended);
+    let frac_relaxed = offloaded_work_fraction(&offloader.solve(&relaxed).unwrap(), &relaxed);
+    assert!(frac_contended > 0.0, "contended crowd should still offload a little");
+    assert!(
+        frac_contended < frac_relaxed - 0.05,
+        "contention must visibly reduce offloading: {frac_contended} vs {frac_relaxed}"
+    );
+}
+
+#[test]
+fn all_policies_yield_valid_plans_with_consistent_energy() {
+    for policy in [
+        AllocationPolicy::EqualShare,
+        AllocationPolicy::ProportionalToLoad,
+        AllocationPolicy::Fifo,
+    ] {
+        let s = crowd(6, policy, 2000.0);
+        let report = Offloader::new().solve(&s).unwrap();
+        assert_eq!(s.validate_plan(&report.plan), Ok(()));
+        // energy is plan-determined, never policy-priced
+        let t = &report.evaluation.totals;
+        assert!((t.energy - (t.local_energy + t.tx_energy)).abs() < 1e-9);
+        // time components add up
+        assert!(
+            (t.time - (t.local_time + t.remote_time + t.tx_time)).abs() < 1e-9
+        );
+    }
+}
+
+#[test]
+fn bigger_server_never_hurts() {
+    let offloader = Offloader::new();
+    let small = offloader
+        .solve(&crowd(12, AllocationPolicy::EqualShare, 300.0))
+        .unwrap();
+    let big = offloader
+        .solve(&crowd(12, AllocationPolicy::EqualShare, 3000.0))
+        .unwrap();
+    assert!(
+        big.evaluation.totals.objective() <= small.evaluation.totals.objective() + 1e-6,
+        "more server capacity must not worsen the objective"
+    );
+}
+
+#[test]
+fn per_user_costs_sum_to_totals() {
+    let s = crowd(5, AllocationPolicy::EqualShare, 1000.0);
+    let report = Offloader::new().solve(&s).unwrap();
+    let e = &report.evaluation;
+    let sum_local: f64 = e.per_user.iter().map(|c| c.local_energy).sum();
+    let sum_tx: f64 = e.per_user.iter().map(|c| c.tx_energy).sum();
+    assert!((sum_local - e.totals.local_energy).abs() < 1e-9);
+    assert!((sum_tx - e.totals.tx_energy).abs() < 1e-9);
+}

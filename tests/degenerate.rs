@@ -1,0 +1,127 @@
+//! Degenerate and adversarial workloads through the whole pipeline:
+//! the offloader must handle them gracefully, not just the happy path.
+
+use copmecs::prelude::*;
+
+fn solve_one(graph: Graph) -> copmecs::core::OffloadReport {
+    let s = Scenario::new(SystemParams::default()).with_user(UserWorkload::new("u", graph));
+    Offloader::new().solve(&s).unwrap()
+}
+
+#[test]
+fn empty_graph_user() {
+    let report = solve_one(GraphBuilder::new().build());
+    assert_eq!(report.plan[0].len(), 0);
+    assert_eq!(report.evaluation.totals.objective(), 0.0);
+}
+
+#[test]
+fn single_offloadable_node() {
+    let mut b = GraphBuilder::new();
+    b.add_node(100.0);
+    let report = solve_one(b.build());
+    // a lone heavy pure function with no communication should offload
+    assert_eq!(report.plan[0].count_on(Side::Remote), 1);
+}
+
+#[test]
+fn single_pinned_node() {
+    let mut b = GraphBuilder::new();
+    b.add_pinned_node(100.0);
+    let report = solve_one(b.build());
+    assert_eq!(report.plan[0].count_on(Side::Remote), 0);
+    assert_eq!(report.evaluation.totals.tx_energy, 0.0);
+}
+
+#[test]
+fn fully_pinned_application() {
+    let mut b = GraphBuilder::new();
+    let n: Vec<_> = (0..5).map(|_| b.add_pinned_node(10.0)).collect();
+    for w in n.windows(2) {
+        b.add_edge(w[0], w[1], 5.0).unwrap();
+    }
+    let report = solve_one(b.build());
+    assert_eq!(report.plan[0].count_on(Side::Remote), 0);
+    assert_eq!(report.compression[0].offloadable_nodes, 0);
+    // all-pinned app == all-local evaluation
+    assert_eq!(report.evaluation.totals.tx_energy, 0.0);
+}
+
+#[test]
+fn edgeless_graph_of_isolated_functions() {
+    let mut b = GraphBuilder::new();
+    for i in 0..10 {
+        if i % 2 == 0 {
+            b.add_node(50.0);
+        } else {
+            b.add_pinned_node(1.0);
+        }
+    }
+    let report = solve_one(b.build());
+    // no communication at all: every offloadable function goes remote
+    assert_eq!(report.plan[0].count_on(Side::Remote), 5);
+    assert_eq!(report.evaluation.totals.tx_energy, 0.0);
+}
+
+#[test]
+fn zero_weight_functions_are_handled() {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node(0.0);
+    let c = b.add_node(0.0);
+    b.add_edge(a, c, 0.0).unwrap();
+    let report = solve_one(b.build());
+    assert_eq!(report.evaluation.totals.objective(), 0.0);
+}
+
+#[test]
+fn star_graph_with_pinned_hub() {
+    // classic sensor-hub shape: everything talks to one pinned hub
+    let mut b = GraphBuilder::new();
+    let hub = b.add_pinned_node(5.0);
+    for _ in 0..20 {
+        let leaf = b.add_node(40.0);
+        b.add_edge(hub, leaf, 3.0).unwrap();
+    }
+    let report = solve_one(b.build());
+    // leaves are heavy and cheap to detach: they should offload
+    assert!(report.plan[0].count_on(Side::Remote) >= 15);
+    assert_eq!(report.plan[0].side(mec_graph::NodeId::new(0)), Side::Local);
+}
+
+#[test]
+fn mixed_crowd_with_empty_and_full_users() {
+    let mut heavy = GraphBuilder::new();
+    let a = heavy.add_node(80.0);
+    let c = heavy.add_node(70.0);
+    heavy.add_edge(a, c, 2.0).unwrap();
+    let s = Scenario::new(SystemParams::default())
+        .with_user(UserWorkload::new("empty", GraphBuilder::new().build()))
+        .with_user(UserWorkload::new("heavy", heavy.build()));
+    let report = Offloader::new().solve(&s).unwrap();
+    assert_eq!(report.plan.len(), 2);
+    assert_eq!(report.plan[0].len(), 0);
+    assert_eq!(s.validate_plan(&report.plan), Ok(()));
+}
+
+#[test]
+fn invalid_system_parameters_surface_as_model_errors() {
+    let params = SystemParams {
+        bandwidth: 0.0,
+        ..SystemParams::default()
+    };
+    let mut b = GraphBuilder::new();
+    b.add_node(1.0);
+    let s = Scenario::new(params).with_user(UserWorkload::new("u", b.build()));
+    let err = Offloader::new().solve(&s).unwrap_err();
+    assert!(err.to_string().contains("bandwidth"), "got: {err}");
+}
+
+#[test]
+fn enormous_weights_do_not_break_pricing() {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node(1e12);
+    let c = b.add_pinned_node(1e12);
+    b.add_edge(a, c, 1e9).unwrap();
+    let report = solve_one(b.build());
+    assert!(report.evaluation.totals.objective().is_finite());
+}

@@ -1,0 +1,87 @@
+//! Scale tests (run with `cargo test --test scale -- --ignored`):
+//! the paper's largest configurations, end to end, with loose wall-time
+//! budgets so regressions that blow up complexity get caught.
+
+use copmecs::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[test]
+#[ignore = "scale test: ~20 s, run explicitly"]
+fn paper_scale_single_user_5000_nodes() {
+    let g = NetgenSpec::paper_network(5000, 40243).seed(1).generate().unwrap();
+    let scenario = Scenario::new(SystemParams::default()).with_user(UserWorkload::new("u", g));
+    let t0 = Instant::now();
+    let report = Offloader::new().solve(&scenario).unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(scenario.validate_plan(&report.plan), Ok(()));
+    assert!(report.compression[0].node_reduction() > 0.5);
+    assert!(
+        elapsed.as_secs() < 60,
+        "5000-node pipeline took {elapsed:?}, complexity regression?"
+    );
+}
+
+#[test]
+#[ignore = "scale test: ~1 min, run explicitly"]
+fn paper_scale_5000_users() {
+    let pool: Vec<Arc<Graph>> = (0..8)
+        .map(|i| {
+            Arc::new(
+                NetgenSpec::paper_network(1000, 4912)
+                    .seed(100 + i)
+                    .generate()
+                    .unwrap(),
+            )
+        })
+        .collect();
+    let params = SystemParams {
+        server_capacity: 10.0 * 5000.0 * 0.5,
+        ..SystemParams::default()
+    };
+    let scenario = Scenario::new(params).with_users(
+        (0..5000).map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % 8]))),
+    );
+    let t0 = Instant::now();
+    let report = Offloader::new().solve(&scenario).unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(report.plan.len(), 5000);
+    let all_local = scenario.evaluate_all_local().unwrap();
+    assert!(report.evaluation.totals.objective() <= all_local.totals.objective() + 1e-6);
+    assert!(
+        elapsed.as_secs() < 300,
+        "5000-user pipeline took {elapsed:?}, complexity regression?"
+    );
+}
+
+#[test]
+#[ignore = "scale test: ~30 s, run explicitly"]
+fn session_churn_at_scale() {
+    let params = SystemParams {
+        server_capacity: 5000.0,
+        ..SystemParams::default()
+    };
+    let mut session = copmecs::core::OffloadSession::new(params);
+    let pool: Vec<Arc<Graph>> = (0..4)
+        .map(|i| {
+            Arc::new(
+                NetgenSpec::paper_network(1000, 4912)
+                    .seed(50 + i)
+                    .generate()
+                    .unwrap(),
+            )
+        })
+        .collect();
+    for i in 0..500usize {
+        session.join(format!("u{i}"), Arc::clone(&pool[i % 4])).unwrap();
+    }
+    // replans after warm-up must be fast: all per-user work is cached
+    let t0 = Instant::now();
+    let report = session.replan().unwrap();
+    let replan_time = t0.elapsed();
+    assert_eq!(report.plan.len(), 500);
+    assert!(
+        replan_time.as_secs_f64() < 10.0,
+        "cached replan took {replan_time:?}"
+    );
+}

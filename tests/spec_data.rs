@@ -1,0 +1,24 @@
+//! The example data shipped in `examples/data/` must stay parseable
+//! and meaningful — it is part of the public face of the repo.
+
+use copmecs::app::Application;
+
+#[test]
+fn navigator_spec_parses_and_extracts() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/data/navigator.app"
+    ))
+    .expect("example spec file is present");
+    let app = Application::from_spec_str(&text).expect("example spec parses");
+    assert_eq!(app.name(), "navigator");
+    assert_eq!(app.component_count(), 4);
+    assert_eq!(app.function_count(), 15);
+    assert!(app.pinned_functions().count() >= 4);
+    let ex = app.extract();
+    assert_eq!(ex.graph.check_invariants(), Ok(()));
+    assert!(ex.graph.is_connected());
+    // the spec round-trips through its own format
+    let back = Application::from_spec_str(&app.to_spec_string()).unwrap();
+    assert_eq!(app, back);
+}

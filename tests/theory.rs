@@ -1,0 +1,122 @@
+//! Cross-crate theory checks: the paper's spectral claims hold on the
+//! actual workload generator's output, and every cut heuristic
+//! respects the exact Stoer–Wagner lower bound.
+
+use copmecs::baselines::{stoer_wagner, KernighanLin, MaxFlowBisector};
+use copmecs::labelprop::{CompressionConfig, Compressor};
+use copmecs::netgen::NetgenSpec;
+use copmecs::spectral::{theory, SpectralBisector};
+use mec_graph::{Bipartition, Side};
+
+#[test]
+fn theorem2_identity_on_generated_workloads() {
+    for seed in [1u64, 2, 3] {
+        let g = NetgenSpec::new(120, 420).components(1).seed(seed).generate().unwrap();
+        let cut = SpectralBisector::new().bisect(&g).unwrap();
+        let direct = cut.partition.cut_weight(&g);
+        // paper levels q_i = ±1 …
+        let via_l = theory::cut_via_laplacian(&g, &cut.partition, 1.0, -1.0);
+        assert!((direct - via_l).abs() < 1e-9, "seed {seed}");
+        // … and arbitrary levels d1 ≠ d2
+        let via_l2 = theory::cut_via_laplacian(&g, &cut.partition, 4.0, -0.5);
+        assert!((direct - via_l2).abs() < 1e-8, "seed {seed}");
+    }
+}
+
+#[test]
+fn fiedler_value_lower_bounds_balanced_cut_quality() {
+    // λ₂ · n/4 ≤ any bisection cut weight (ratio-cut bound):
+    // CUT(A,B) ≥ λ₂ · |A|·|B| / n.
+    let g = NetgenSpec::new(80, 300).components(1).seed(7).generate().unwrap();
+    let spectral = SpectralBisector::new().bisect(&g).unwrap();
+    let n = g.node_count() as f64;
+    for p in [
+        spectral.partition.clone(),
+        KernighanLin::new().bisect(&g).unwrap(),
+        MaxFlowBisector::new().bisect(&g).unwrap(),
+    ] {
+        let a = p.count_on(Side::Local) as f64;
+        let b = p.count_on(Side::Remote) as f64;
+        let bound = spectral.fiedler_value * a * b / n;
+        assert!(
+            p.cut_weight(&g) >= bound - 1e-6,
+            "cut {} below spectral bound {}",
+            p.cut_weight(&g),
+            bound
+        );
+    }
+}
+
+#[test]
+fn no_heuristic_beats_stoer_wagner() {
+    for seed in [11u64, 12, 13, 14] {
+        let g = NetgenSpec::new(60, 200).components(1).seed(seed).generate().unwrap();
+        let exact = stoer_wagner(&g).unwrap().cut_weight;
+        let spectral = SpectralBisector::new().bisect(&g).unwrap().cut_weight;
+        let kl = KernighanLin::new().bisect(&g).unwrap().cut_weight(&g);
+        let mf = MaxFlowBisector::new().bisect(&g).unwrap().cut_weight(&g);
+        for (name, w) in [("spectral", spectral), ("kl", kl), ("maxflow", mf)] {
+            assert!(
+                w >= exact - 1e-9,
+                "seed {seed}: {name} cut {w} below exact minimum {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compression_preserves_weight_through_the_quotient() {
+    let g = NetgenSpec::new(250, 1214).seed(20190707).generate().unwrap();
+    let outcome = Compressor::new(CompressionConfig::default()).compress(&g);
+    let pinned_weight: f64 = outcome.pinned.iter().map(|&n| g.node_weight(n)).sum();
+    let quotient_weight: f64 = outcome
+        .components
+        .iter()
+        .map(|c| c.quotient.graph().total_node_weight())
+        .sum();
+    assert!(
+        (pinned_weight + quotient_weight - g.total_node_weight()).abs() < 1e-6,
+        "computation weight must be conserved by compression"
+    );
+}
+
+#[test]
+fn compressed_cut_expands_to_identical_weight_on_the_component() {
+    let g = NetgenSpec::new(300, 1200).seed(3).generate().unwrap();
+    let outcome = Compressor::new(CompressionConfig::default()).compress(&g);
+    for comp in &outcome.components {
+        let q = comp.quotient.graph();
+        if q.node_count() < 2 {
+            continue;
+        }
+        let qcut = SpectralBisector::new().bisect(q).unwrap();
+        let expanded: Bipartition = comp.quotient.expand(&qcut.partition);
+        assert!(
+            (expanded.cut_weight(comp.subgraph.graph()) - qcut.cut_weight).abs() < 1e-9,
+            "quotient cut weight must equal the expanded cut weight"
+        );
+    }
+}
+
+#[test]
+fn merged_supernodes_only_fuse_connected_heavy_regions() {
+    // every merge group must induce a connected subgraph of its
+    // component — the compression rule merges directly-connected
+    // same-label nodes only
+    let g = NetgenSpec::new(200, 900).seed(5).generate().unwrap();
+    let outcome = Compressor::new(CompressionConfig::default()).compress(&g);
+    for comp in &outcome.components {
+        let sub = comp.subgraph.graph();
+        for members in comp.quotient.grouping().members() {
+            if members.len() < 2 {
+                continue;
+            }
+            let induced = mec_graph::Subgraph::induced(sub, &members);
+            assert!(
+                induced.graph().is_connected(),
+                "merge group of size {} is not connected",
+                members.len()
+            );
+        }
+    }
+}
