@@ -262,7 +262,8 @@ impl ApplicationBuilder {
         if !compute_weight.is_finite() || compute_weight < 0.0 {
             return Err(AppError::InvalidWeight(compute_weight));
         }
-        let id = FunctionId(u32::try_from(self.functions.len()).expect("function count exceeds u32"));
+        let id =
+            FunctionId(u32::try_from(self.functions.len()).expect("function count exceeds u32"));
         self.functions.push(Function {
             name: name.into(),
             compute_weight,
@@ -327,7 +328,9 @@ mod tests {
         let c0 = b.begin_component("core");
         let c1 = b.begin_component("ui");
         let f0 = b.add_function(c0, "main", 1.0, FunctionKind::Pure).unwrap();
-        let f1 = b.add_function(c0, "work", 10.0, FunctionKind::Pure).unwrap();
+        let f1 = b
+            .add_function(c0, "work", 10.0, FunctionKind::Pure)
+            .unwrap();
         let f2 = b
             .add_function(c1, "render", 3.0, FunctionKind::UserInterface)
             .unwrap();

@@ -98,7 +98,9 @@ impl Application {
                     if builder.is_some() {
                         return Err(err(line_no, "duplicate app directive"));
                     }
-                    let name = tokens.get(1).ok_or_else(|| err(line_no, "app needs a name"))?;
+                    let name = tokens
+                        .get(1)
+                        .ok_or_else(|| err(line_no, "app needs a name"))?;
                     builder = Some(ApplicationBuilder::new(*name));
                 }
                 "component" => {
@@ -114,8 +116,7 @@ impl Application {
                     let b = builder
                         .as_mut()
                         .ok_or_else(|| err(line_no, "fn before app directive"))?;
-                    let comp =
-                        current.ok_or_else(|| err(line_no, "fn outside of a component"))?;
+                    let comp = current.ok_or_else(|| err(line_no, "fn outside of a component"))?;
                     let [_, name, weight, kind] = tokens[..] else {
                         return Err(err(line_no, "expected: fn <name> <weight> <kind>"));
                     };
@@ -202,7 +203,11 @@ impl Application {
             let _ = writeln!(out, "  subgraph cluster_{c} {{");
             let _ = writeln!(out, "    label=\"{}\";", self.component_name(cid));
             for (id, f) in self.functions().filter(|(_, f)| f.component == cid) {
-                let shape = if f.kind.is_offloadable() { "ellipse" } else { "box" };
+                let shape = if f.kind.is_offloadable() {
+                    "ellipse"
+                } else {
+                    "box"
+                };
                 let _ = writeln!(
                     out,
                     "    {} [label=\"{}:{:.1}\", shape={}];",

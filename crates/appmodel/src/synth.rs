@@ -54,11 +54,7 @@ impl SyntheticAppSpec {
     /// functions each, the [`CouplingProfile::Mixed`] profile, 10 %
     /// pinned functions, computation weights 1–50, small volumes 1–8
     /// and large volumes 40–120.
-    pub fn new(
-        name: impl Into<String>,
-        components: usize,
-        functions_per_component: usize,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, components: usize, functions_per_component: usize) -> Self {
         SyntheticAppSpec {
             name: name.into(),
             components: components.max(1),
@@ -179,8 +175,7 @@ impl SyntheticAppSpec {
                 b.add_call(parent, ids[k], vol).expect("tree call is valid");
             }
             // extra calls thicken the topology
-            let extras =
-                (self.functions_per_component as f64 * self.extra_call_factor) as usize;
+            let extras = (self.functions_per_component as f64 * self.extra_call_factor) as usize;
             for _ in 0..extras {
                 let a = rng.gen_range(0..ids.len());
                 let c = rng.gen_range(0..ids.len());
@@ -188,7 +183,8 @@ impl SyntheticAppSpec {
                     continue;
                 }
                 let vol = self.sample_volume(&mut rng, heavy_p);
-                b.add_call(ids[a], ids[c], vol).expect("extra call is valid");
+                b.add_call(ids[a], ids[c], vol)
+                    .expect("extra call is valid");
             }
         }
         b.build()

@@ -48,13 +48,8 @@ impl KernighanLin {
         if n < 2 {
             return Err(BaselineError::TooFewNodes { nodes: n });
         }
-        let initial = Bipartition::from_fn(n, |i| {
-            if i < n / 2 {
-                Side::Local
-            } else {
-                Side::Remote
-            }
-        });
+        let initial =
+            Bipartition::from_fn(n, |i| if i < n / 2 { Side::Local } else { Side::Remote });
         Ok(self.refine(g, initial))
     }
 
@@ -193,7 +188,11 @@ mod tests {
 
     #[test]
     fn preserves_balance() {
-        let g = NetgenSpec::new(40, 120).components(1).seed(5).generate().unwrap();
+        let g = NetgenSpec::new(40, 120)
+            .components(1)
+            .seed(5)
+            .generate()
+            .unwrap();
         let p = KernighanLin::new().bisect(&g).unwrap();
         assert_eq!(p.count_on(Side::Local), 20);
         assert_eq!(p.count_on(Side::Remote), 20);
@@ -202,15 +201,14 @@ mod tests {
     #[test]
     fn never_worse_than_initial_cut() {
         for seed in 0..5 {
-            let g = NetgenSpec::new(30, 90).components(1).seed(seed).generate().unwrap();
+            let g = NetgenSpec::new(30, 90)
+                .components(1)
+                .seed(seed)
+                .generate()
+                .unwrap();
             let n = g.node_count();
-            let initial = Bipartition::from_fn(n, |i| {
-                if i < n / 2 {
-                    Side::Local
-                } else {
-                    Side::Remote
-                }
-            });
+            let initial =
+                Bipartition::from_fn(n, |i| if i < n / 2 { Side::Local } else { Side::Remote });
             let refined = KernighanLin::new().refine(&g, initial.clone());
             assert!(
                 refined.cut_weight(&g) <= initial.cut_weight(&g) + 1e-9,
@@ -240,7 +238,9 @@ mod tests {
     #[test]
     fn errors_on_degenerate_input() {
         assert_eq!(
-            KernighanLin::new().bisect(&GraphBuilder::new().build()).unwrap_err(),
+            KernighanLin::new()
+                .bisect(&GraphBuilder::new().build())
+                .unwrap_err(),
             BaselineError::EmptyGraph
         );
         let mut b = GraphBuilder::new();
@@ -253,7 +253,11 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let g = NetgenSpec::new(24, 60).components(1).seed(3).generate().unwrap();
+        let g = NetgenSpec::new(24, 60)
+            .components(1)
+            .seed(3)
+            .generate()
+            .unwrap();
         let a = KernighanLin::new().bisect(&g).unwrap();
         let b = KernighanLin::new().bisect(&g).unwrap();
         assert_eq!(a, b);

@@ -48,8 +48,8 @@ mod multilevel;
 mod stoer_wagner;
 
 pub use kernighan_lin::KernighanLin;
-pub use multilevel::MultilevelBisector;
 pub use maxflow::{edmonds_karp, MaxFlowBisector, MaxFlowResult, TrialSelection};
+pub use multilevel::MultilevelBisector;
 pub use stoer_wagner::{stoer_wagner, GlobalMinCut};
 
 use std::error::Error;

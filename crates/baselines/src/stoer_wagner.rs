@@ -187,7 +187,11 @@ mod tests {
     #[test]
     fn agrees_with_brute_force_on_random_graphs() {
         for seed in 0..6 {
-            let g = NetgenSpec::new(10, 20).components(1).seed(seed).generate().unwrap();
+            let g = NetgenSpec::new(10, 20)
+                .components(1)
+                .seed(seed)
+                .generate()
+                .unwrap();
             let sw = stoer_wagner(&g).unwrap();
             let (bf_weight, _) = brute_force_min_cut(&g);
             assert!(
@@ -214,7 +218,11 @@ mod tests {
 
     #[test]
     fn cut_weight_matches_partition_weight() {
-        let g = NetgenSpec::new(30, 80).components(1).seed(9).generate().unwrap();
+        let g = NetgenSpec::new(30, 80)
+            .components(1)
+            .seed(9)
+            .generate()
+            .unwrap();
         let cut = stoer_wagner(&g).unwrap();
         assert!((cut.partition.cut_weight(&g) - cut.cut_weight).abs() < 1e-9);
     }

@@ -6,6 +6,7 @@ use copmecs_core::{CutError, CutStrategy, GreedyMode, Offloader, StrategyKind};
 use mec_graph::{Bipartition, Graph};
 use mec_labelprop::{CompressionConfig, ThresholdRule, TraversalPolicy};
 use mec_model::{AllocationPolicy, Scenario, SystemParams, UserWorkload};
+use mec_obs::TraceSink;
 use mec_spectral::{SpectralBisector, SplitRule};
 use serde::Serialize;
 use std::sync::Arc;
@@ -29,18 +30,14 @@ fn reference_scenario(seed: u64) -> Scenario {
     let pool: Vec<Arc<Graph>> = (0..3)
         .map(|i| Arc::new(paper_graph(500, seed + i)))
         .collect();
-    Scenario::new(SystemParams::default()).with_users(
-        (0..6).map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % 3]))),
-    )
+    Scenario::new(SystemParams::default())
+        .with_users((0..6).map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % 3]))))
 }
 
-fn measure(
-    knob: &str,
-    setting: &str,
-    offloader: &Offloader,
-    scenario: &Scenario,
-) -> AblationPoint {
-    let report = offloader.solve(scenario).expect("reference workload solves");
+fn measure(knob: &str, setting: &str, offloader: &Offloader, scenario: &Scenario) -> AblationPoint {
+    let report = offloader
+        .solve(scenario)
+        .expect("reference workload solves");
     AblationPoint {
         knob: knob.to_string(),
         setting: setting.to_string(),
@@ -71,7 +68,13 @@ impl CutStrategy for SplitRuleStrategy {
 
 /// Runs every quality ablation and returns the points grouped by knob.
 pub fn run(seed: u64) -> Vec<AblationPoint> {
+    run_traced(seed, &mec_obs::null_sink())
+}
+
+/// Like [`run`] but wires `sink` into every pipeline it builds.
+pub fn run_traced(seed: u64, sink: &Arc<dyn TraceSink>) -> Vec<AblationPoint> {
     let scenario = reference_scenario(seed);
+    let builder = || Offloader::builder().trace_sink(Arc::clone(sink));
     let mut out = Vec::new();
 
     // 1. compression threshold rule
@@ -83,15 +86,18 @@ pub fn run(seed: u64) -> Vec<AblationPoint> {
         ("quantile 0.5", ThresholdRule::Quantile(0.5)),
         ("quantile 0.9", ThresholdRule::Quantile(0.9)),
     ] {
-        let o = Offloader::builder()
+        let o = builder()
             .compression(CompressionConfig::new().threshold(rule))
             .build();
         out.push(measure("threshold", label, &o, &scenario));
     }
 
     // 2. propagation traversal policy
-    for (label, policy) in [("bfs (default)", TraversalPolicy::Bfs), ("dfs", TraversalPolicy::Dfs)] {
-        let o = Offloader::builder()
+    for (label, policy) in [
+        ("bfs (default)", TraversalPolicy::Bfs),
+        ("dfs", TraversalPolicy::Dfs),
+    ] {
+        let o = builder()
             .compression(CompressionConfig::new().policy(policy))
             .build();
         out.push(measure("traversal", label, &o, &scenario));
@@ -104,7 +110,7 @@ pub fn run(seed: u64) -> Vec<AblationPoint> {
         ("ratio sweep", SplitRule::RatioSweep),
         ("median", SplitRule::Median),
     ] {
-        let o = Offloader::builder().build_with_strategy(Box::new(SplitRuleStrategy {
+        let o = builder().build_with_strategy(Box::new(SplitRuleStrategy {
             bisector: SpectralBisector::new().split_rule(rule),
         }));
         out.push(measure("split-rule", label, &o, &scenario));
@@ -115,7 +121,7 @@ pub fn run(seed: u64) -> Vec<AblationPoint> {
         ("lazy heap (default)", GreedyMode::Lazy),
         ("exhaustive rescan", GreedyMode::Exhaustive),
     ] {
-        let o = Offloader::builder().greedy_mode(mode).build();
+        let o = builder().greedy_mode(mode).build();
         out.push(measure("greedy", label, &o, &scenario));
     }
 
@@ -126,7 +132,7 @@ pub fn run(seed: u64) -> Vec<AblationPoint> {
         ("kernighan-lin", StrategyKind::KernighanLin),
         ("multilevel", StrategyKind::Multilevel),
     ] {
-        let o = Offloader::builder().strategy(kind).build();
+        let o = builder().strategy(kind).build();
         out.push(measure("strategy", label, &o, &scenario));
     }
 
@@ -146,7 +152,7 @@ pub fn run(seed: u64) -> Vec<AblationPoint> {
         let s = Scenario::new(params).with_users(
             (0..6).map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % 3]))),
         );
-        let o = Offloader::builder().strategy(StrategyKind::Spectral).build();
+        let o = builder().strategy(StrategyKind::Spectral).build();
         out.push(measure("allocation", label, &o, &s));
     }
 
@@ -161,7 +167,14 @@ mod tests {
     fn ablation_covers_all_knobs() {
         let pts = run(3);
         let knobs: std::collections::HashSet<_> = pts.iter().map(|p| p.knob.as_str()).collect();
-        for k in ["threshold", "traversal", "split-rule", "greedy", "strategy", "allocation"] {
+        for k in [
+            "threshold",
+            "traversal",
+            "split-rule",
+            "greedy",
+            "strategy",
+            "allocation",
+        ] {
             assert!(knobs.contains(k), "missing knob {k}");
         }
         for p in &pts {

@@ -8,6 +8,10 @@
 //!
 //! Each command prints the same normalised rows/series the paper
 //! reports and writes raw JSON next to them.
+//!
+//! `--trace-out <path>` additionally records pipeline telemetry
+//! (stage spans, label-propagation rounds, Lanczos iterations, greedy
+//! counters) through [`mec_obs::Recorder`] and writes it as JSON.
 
 use mec_bench::ablation;
 use mec_bench::energy::{self, EnergyPoint};
@@ -15,6 +19,8 @@ use mec_bench::multiuser::{self, MultiUserConfig, MultiUserPoint};
 use mec_bench::report::{normalize, render_table, write_json};
 use mec_bench::runtime::{self, RuntimePoint};
 use mec_bench::{table1, DEFAULT_SEED, PAPER_SIZES, PAPER_USER_SIZES};
+use mec_obs::{Recorder, TraceSink};
+use std::sync::Arc;
 
 struct Options {
     command: String,
@@ -22,6 +28,7 @@ struct Options {
     seed: u64,
     out: String,
     extra: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -32,6 +39,7 @@ fn parse_args() -> Options {
         seed: DEFAULT_SEED,
         out: "results".to_string(),
         extra: false,
+        trace_out: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -45,6 +53,12 @@ fn parse_args() -> Options {
             }
             "--out" => {
                 opts.out = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--trace-out needs a path")),
+                );
             }
             cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                 opts.command = cmd.to_string();
@@ -62,7 +76,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|check|all] \
-         [--quick] [--extra] [--seed N] [--out DIR]"
+         [--quick] [--extra] [--seed N] [--out DIR] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -83,9 +97,9 @@ fn user_sizes(opts: &Options) -> Vec<usize> {
     }
 }
 
-fn run_table1(opts: &Options) {
+fn run_table1(opts: &Options, sink: &Arc<dyn TraceSink>) {
     println!("== Table I: graph compression results ==\n");
-    let rows = table1::run(&sizes(opts), opts.seed);
+    let rows = table1::run_traced(&sizes(opts), opts.seed, sink.as_ref());
     let table = render_table(
         &[
             "Network",
@@ -161,8 +175,12 @@ fn render_energy_figure(points: &[EnergyPoint], metric: &str, title: &str) {
     println!("{}", render_table(&headers, &rows));
 }
 
-fn run_energy(opts: &Options, figs: &[(&str, &str, &str)]) -> Vec<EnergyPoint> {
-    let points = energy::run(&sizes(opts), opts.seed);
+fn run_energy(
+    opts: &Options,
+    figs: &[(&str, &str, &str)],
+    sink: &Arc<dyn TraceSink>,
+) -> Vec<EnergyPoint> {
+    let points = energy::run_traced(&sizes(opts), opts.seed, sink);
     for (fig, metric, title) in figs {
         render_energy_figure(&points, metric, title);
         write_json(format!("{}/{fig}.json", opts.out), &points);
@@ -217,14 +235,18 @@ fn render_multi_figure(points: &[MultiUserPoint], metric: &str, title: &str) {
     println!("{}", render_table(&headers, &rows));
 }
 
-fn run_multiuser(opts: &Options, figs: &[(&str, &str, &str)]) -> Vec<MultiUserPoint> {
+fn run_multiuser(
+    opts: &Options,
+    figs: &[(&str, &str, &str)],
+    sink: &Arc<dyn TraceSink>,
+) -> Vec<MultiUserPoint> {
     let config = MultiUserConfig {
         graph_nodes: if opts.quick { 200 } else { 1000 },
         pool: if opts.quick { 4 } else { 8 },
         seed: opts.seed,
         ..MultiUserConfig::default()
     };
-    let points = multiuser::run(&user_sizes(opts), &config);
+    let points = multiuser::run_traced(&user_sizes(opts), &config, sink);
     for (fig, metric, title) in figs {
         render_multi_figure(&points, metric, title);
         write_json(format!("{}/{fig}.json", opts.out), &points);
@@ -341,9 +363,9 @@ fn run_check(opts: &Options) {
     }
 }
 
-fn run_ablation(opts: &Options) {
+fn run_ablation(opts: &Options, sink: &Arc<dyn TraceSink>) {
     println!("== Ablations: objective E+T per design knob ==\n");
-    let points = ablation::run(opts.seed);
+    let points = ablation::run_traced(opts.seed, sink);
     let mut current_knob = String::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let flush = |knob: &str, rows: &mut Vec<Vec<String>>| {
@@ -373,9 +395,9 @@ fn run_ablation(opts: &Options) {
     write_json(format!("{}/ablations.json", opts.out), &points);
 }
 
-fn run_fig9(opts: &Options) {
+fn run_fig9(opts: &Options, sink: &Arc<dyn TraceSink>) {
     println!("== Fig. 9: execution time vs graph size ==\n");
-    let points: Vec<RuntimePoint> = runtime::run(&sizes(opts), opts.seed, opts.extra);
+    let points: Vec<RuntimePoint> = runtime::run_traced(&sizes(opts), opts.seed, opts.extra, sink);
     let sizes: Vec<usize> = {
         let mut s: Vec<_> = points.iter().map(|p| p.size).collect();
         s.dedup();
@@ -412,6 +434,13 @@ fn run_fig9(opts: &Options) {
 
 fn main() {
     let opts = parse_args();
+    // One recorder for the whole invocation: spans and counters from
+    // every pipeline the selected command builds land in one trace.
+    let recorder = opts.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
+    let sink: Arc<dyn TraceSink> = match &recorder {
+        Some(r) => Arc::clone(r) as Arc<dyn TraceSink>,
+        None => mec_obs::null_sink(),
+    };
     let single_user_figs: Vec<(&str, &str, &str)> = vec![
         ("fig3", "local", "Fig. 3: local energy consumption"),
         ("fig4", "tx", "Fig. 4: transmission energy consumption"),
@@ -423,35 +452,44 @@ fn main() {
         ("fig8", "total", "Fig. 8: total energy, multi-user"),
     ];
     match opts.command.as_str() {
-        "table1" => run_table1(&opts),
+        "table1" => run_table1(&opts, &sink),
         "fig3" => {
-            run_energy(&opts, &single_user_figs[0..1]);
+            run_energy(&opts, &single_user_figs[0..1], &sink);
         }
         "fig4" => {
-            run_energy(&opts, &single_user_figs[1..2]);
+            run_energy(&opts, &single_user_figs[1..2], &sink);
         }
         "fig5" => {
-            run_energy(&opts, &single_user_figs[2..3]);
+            run_energy(&opts, &single_user_figs[2..3], &sink);
         }
         "fig6" => {
-            run_multiuser(&opts, &multi_user_figs[0..1]);
+            run_multiuser(&opts, &multi_user_figs[0..1], &sink);
         }
         "fig7" => {
-            run_multiuser(&opts, &multi_user_figs[1..2]);
+            run_multiuser(&opts, &multi_user_figs[1..2], &sink);
         }
         "fig8" => {
-            run_multiuser(&opts, &multi_user_figs[2..3]);
+            run_multiuser(&opts, &multi_user_figs[2..3], &sink);
         }
-        "fig9" => run_fig9(&opts),
-        "ablate" => run_ablation(&opts),
+        "fig9" => run_fig9(&opts, &sink),
+        "ablate" => run_ablation(&opts, &sink),
         "check" => run_check(&opts),
         "all" => {
-            run_table1(&opts);
-            run_energy(&opts, &single_user_figs);
-            run_multiuser(&opts, &multi_user_figs);
-            run_fig9(&opts);
-            run_ablation(&opts);
+            run_table1(&opts, &sink);
+            run_energy(&opts, &single_user_figs, &sink);
+            run_multiuser(&opts, &multi_user_figs, &sink);
+            run_fig9(&opts, &sink);
+            run_ablation(&opts, &sink);
         }
         other => die(&format!("unknown command: {other}")),
+    }
+    if let (Some(path), Some(recorder)) = (&opts.trace_out, &recorder) {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("trace directory is creatable");
+            }
+        }
+        std::fs::write(path, recorder.to_json_string()).expect("trace file is writable");
+        println!("trace written to {path}");
     }
 }

@@ -46,7 +46,9 @@ fn inspect(nodes: usize, edges: usize, seed: u64) -> Vec<String> {
         .generate()
         .expect("spec is feasible");
     let modules = intended_modules(&g, 4);
-    let stats = Compressor::new(CompressionConfig::default()).compress(&g).stats;
+    let stats = Compressor::new(CompressionConfig::default())
+        .compress(&g)
+        .stats;
     let deg = g.degree_summary();
     vec![
         format!("{nodes}"),
@@ -82,10 +84,7 @@ fn main() {
     } else {
         NetgenSpec::table1_rows().to_vec()
     };
-    let rows: Vec<Vec<String>> = cases
-        .iter()
-        .map(|&(n, e)| inspect(n, e, seed))
-        .collect();
+    let rows: Vec<Vec<String>> = cases.iter().map(|&(n, e)| inspect(n, e, seed)).collect();
     println!(
         "{}",
         render_table(

@@ -4,7 +4,9 @@
 use crate::workload::paper_graph;
 use copmecs_core::{Offloader, StrategyKind};
 use mec_model::{Scenario, SystemParams, UserWorkload};
+use mec_obs::TraceSink;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// The three strategies the paper compares in Figs. 3–8.
 pub fn paper_strategies() -> [(&'static str, StrategyKind); 3] {
@@ -35,14 +37,21 @@ pub struct EnergyPoint {
 /// Runs the single-user sweep: one user, graphs of the given sizes,
 /// all three strategies.
 pub fn run(sizes: &[usize], seed: u64) -> Vec<EnergyPoint> {
+    run_traced(sizes, seed, &mec_obs::null_sink())
+}
+
+/// Like [`run`] but wires `sink` into every pipeline it builds, so the
+/// trace covers all strategies across the sweep.
+pub fn run_traced(sizes: &[usize], seed: u64, sink: &Arc<dyn TraceSink>) -> Vec<EnergyPoint> {
     let mut out = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
-        let graph = std::sync::Arc::new(paper_graph(size, seed + i as u64));
+        let graph = Arc::new(paper_graph(size, seed + i as u64));
         let scenario = Scenario::new(SystemParams::default())
-            .with_user(UserWorkload::new("u0", std::sync::Arc::clone(&graph)));
+            .with_user(UserWorkload::new("u0", Arc::clone(&graph)));
         for (label, kind) in paper_strategies() {
             let report = Offloader::builder()
                 .strategy(kind)
+                .trace_sink(Arc::clone(sink))
                 .build()
                 .solve(&scenario)
                 .expect("pipeline succeeds on generated workloads");

@@ -10,6 +10,7 @@ use crate::workload::paper_graph;
 use copmecs_core::Offloader;
 use mec_graph::Graph;
 use mec_model::{Scenario, SystemParams, UserWorkload};
+use mec_obs::TraceSink;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -59,6 +60,15 @@ impl Default for MultiUserConfig {
 
 /// Runs the multi-user sweep over `user_counts`.
 pub fn run(user_counts: &[usize], config: &MultiUserConfig) -> Vec<MultiUserPoint> {
+    run_traced(user_counts, config, &mec_obs::null_sink())
+}
+
+/// Like [`run`] but wires `sink` into every pipeline it builds.
+pub fn run_traced(
+    user_counts: &[usize],
+    config: &MultiUserConfig,
+    sink: &Arc<dyn TraceSink>,
+) -> Vec<MultiUserPoint> {
     let pool: Vec<Arc<Graph>> = (0..config.pool)
         .map(|i| Arc::new(paper_graph(config.graph_nodes, config.seed + i as u64)))
         .collect();
@@ -70,11 +80,11 @@ pub fn run(user_counts: &[usize], config: &MultiUserConfig) -> Vec<MultiUserPoin
     };
     let mut out = Vec::new();
     for &users in user_counts {
-        let scenario = Scenario::new(params).with_users(
-            (0..users).map(|i| {
-                UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % pool.len()]))
-            }),
-        );
+        let scenario =
+            Scenario::new(params)
+                .with_users((0..users).map(|i| {
+                    UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % pool.len()]))
+                }));
         let total_functions: usize = scenario
             .users()
             .iter()
@@ -83,6 +93,7 @@ pub fn run(user_counts: &[usize], config: &MultiUserConfig) -> Vec<MultiUserPoin
         for (label, kind) in paper_strategies() {
             let report = Offloader::builder()
                 .strategy(kind)
+                .trace_sink(Arc::clone(sink))
                 .build()
                 .solve(&scenario)
                 .expect("pipeline succeeds on generated workloads");

@@ -84,7 +84,13 @@ pub fn write_csv(path: impl AsRef<Path>, headers: &[&str], rows: &[Vec<String>])
         }
     };
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

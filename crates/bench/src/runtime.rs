@@ -24,6 +24,7 @@ use mec_graph::{Bipartition, Graph};
 use mec_linalg::LanczosOptions;
 use mec_model::{Scenario, SystemParams, UserWorkload};
 use mec_netgen::NetgenSpec;
+use mec_obs::TraceSink;
 use mec_spectral::SpectralBisector;
 use serde::Serialize;
 use std::sync::Arc;
@@ -136,6 +137,18 @@ fn time_pipeline(offloader: &Offloader, scenario: &Scenario) -> f64 {
 /// Runs the timing sweep. `include_extra` adds the `lanczos-serial`
 /// ablation series.
 pub fn run(sizes: &[usize], seed: u64, include_extra: bool) -> Vec<RuntimePoint> {
+    run_traced(sizes, seed, include_extra, &mec_obs::null_sink())
+}
+
+/// Like [`run`] but wires `sink` into every pipeline variant and
+/// re-emits the engine cluster's counters (`engine.stages`,
+/// `engine.tasks`, `engine.busy_nanos`) once the sweep finishes.
+pub fn run_traced(
+    sizes: &[usize],
+    seed: u64,
+    include_extra: bool,
+    sink: &Arc<dyn TraceSink>,
+) -> Vec<RuntimePoint> {
     let cluster = Arc::new(Cluster::with_default_parallelism().expect("cluster spawns"));
     let mut out = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
@@ -146,33 +159,47 @@ pub fn run(sizes: &[usize], seed: u64, include_extra: bool) -> Vec<RuntimePoint>
         let mut variants: Vec<(String, Offloader)> = vec![
             (
                 "our algorithm without engine".into(),
-                Offloader::builder().build_with_strategy(Box::new(DenseSpectralStrategy::new())),
+                Offloader::builder()
+                    .trace_sink(Arc::clone(sink))
+                    .build_with_strategy(Box::new(DenseSpectralStrategy::new())),
             ),
             (
                 "our algorithm with engine".into(),
-                Offloader::builder().strategy(StrategyKind::SpectralParallel {
-                    cluster: Arc::clone(&cluster),
-                    blocks: cluster.worker_count() * 2,
-                }).build(),
+                Offloader::builder()
+                    .strategy(StrategyKind::SpectralParallel {
+                        cluster: Arc::clone(&cluster),
+                        blocks: cluster.worker_count() * 2,
+                    })
+                    .trace_sink(Arc::clone(sink))
+                    .build(),
             ),
             (
                 "max-flow min-cut".into(),
-                Offloader::builder().strategy(StrategyKind::MaxFlow).build(),
+                Offloader::builder()
+                    .strategy(StrategyKind::MaxFlow)
+                    .trace_sink(Arc::clone(sink))
+                    .build(),
             ),
             (
                 "Kernighan-Lin".into(),
-                Offloader::builder().strategy(StrategyKind::KernighanLin).build(),
+                Offloader::builder()
+                    .strategy(StrategyKind::KernighanLin)
+                    .trace_sink(Arc::clone(sink))
+                    .build(),
             ),
         ];
         if include_extra {
             variants.push((
                 "lanczos-serial (extra)".into(),
-                Offloader::builder().build_with_strategy(Box::new(LanczosSerialStrategy::new())),
+                Offloader::builder()
+                    .trace_sink(Arc::clone(sink))
+                    .build_with_strategy(Box::new(LanczosSerialStrategy::new())),
             ));
             variants.push((
                 "multilevel (extra)".into(),
                 Offloader::builder()
                     .strategy(StrategyKind::Multilevel)
+                    .trace_sink(Arc::clone(sink))
                     .build(),
             ));
         }
@@ -185,6 +212,7 @@ pub fn run(sizes: &[usize], seed: u64, include_extra: bool) -> Vec<RuntimePoint>
             });
         }
     }
+    cluster.metrics().emit_to(sink.as_ref());
     out
 }
 

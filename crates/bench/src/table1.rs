@@ -2,6 +2,7 @@
 
 use crate::workload::paper_graph;
 use mec_labelprop::{CompressionConfig, Compressor};
+use mec_obs::TraceSink;
 use serde::Serialize;
 
 /// One row of Table I.
@@ -24,13 +25,19 @@ pub struct Table1Row {
 /// Runs the compression experiment over the given `(nodes, edges)`
 /// sizes with `seed`.
 pub fn run(sizes: &[usize], seed: u64) -> Vec<Table1Row> {
+    run_traced(sizes, seed, &mec_obs::NullSink)
+}
+
+/// Like [`run`] but routes compression telemetry (`labelprop.round`
+/// events, `compress.stats`) through `sink`.
+pub fn run_traced(sizes: &[usize], seed: u64, sink: &dyn TraceSink) -> Vec<Table1Row> {
     let compressor = Compressor::new(CompressionConfig::default());
     sizes
         .iter()
         .enumerate()
         .map(|(i, &nodes)| {
             let g = paper_graph(nodes, seed + i as u64);
-            let stats = compressor.compress(&g).stats;
+            let stats = compressor.compress_traced(&g, sink).stats;
             Table1Row {
                 network: format!("Network{}", i + 1),
                 nodes: stats.original_nodes,

@@ -131,7 +131,10 @@ mod tests {
         let err = PipelineConfig::from_json_str("{ nope }").unwrap_err();
         assert!(!err.is_empty());
         let err2 = PipelineConfig::from_json_str(r#"{ "strategy": "Quantum" }"#).unwrap_err();
-        assert!(err2.contains("Quantum") || err2.contains("variant"), "{err2}");
+        assert!(
+            err2.contains("Quantum") || err2.contains("variant"),
+            "{err2}"
+        );
     }
 
     #[test]

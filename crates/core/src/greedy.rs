@@ -28,6 +28,7 @@
 use crate::parts::PartSystem;
 use mec_graph::Side;
 use mec_model::{AllocationPolicy, SystemParams};
+use mec_obs::{FieldValue, TraceSink};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -414,11 +415,38 @@ fn all_moves(ps: &PartSystem) -> Vec<Move> {
 ///
 /// After convergence, the all-local plan is checked as a final guard:
 /// the returned assignment is never worse than not offloading at all.
+#[cfg(test)]
 pub(crate) fn run_greedy(
     ps: &mut PartSystem,
     params: &SystemParams,
     mode: GreedyMode,
 ) -> GreedyOutcome {
+    run_greedy_traced(ps, params, mode, &mec_obs::NullSink)
+}
+
+/// Emits one `greedy.step` objective-trajectory point.
+fn emit_step(sink: &dyn TraceSink, moves: usize, objective: f64) {
+    sink.event(
+        "greedy.step",
+        &[
+            ("moves", FieldValue::from(moves)),
+            ("objective", FieldValue::from(objective)),
+        ],
+    );
+}
+
+/// [`run_greedy`] with telemetry: bumps `greedy.evaluated` /
+/// `greedy.accepted` counters, and (when the sink is enabled) emits a
+/// `greedy.step` event after every applied move — the objective
+/// trajectory — plus a final `greedy.done` summary. The search itself
+/// is unchanged.
+pub(crate) fn run_greedy_traced(
+    ps: &mut PartSystem,
+    params: &SystemParams,
+    mode: GreedyMode,
+    sink: &dyn TraceSink,
+) -> GreedyOutcome {
+    let traced = sink.enabled();
     let mut state = ObjectiveState::new(ps, params);
     let initial = state.objective();
     let mut moves = 0usize;
@@ -432,7 +460,9 @@ pub(crate) fn run_greedy(
             while moves < move_cap {
                 let mut best: Option<(Move, f64)> = None;
                 for mv in all_moves(ps) {
-                    let Some(g) = state.gain_of(ps, mv) else { continue };
+                    let Some(g) = state.gain_of(ps, mv) else {
+                        continue;
+                    };
                     evaluations += 1;
                     let better = match best {
                         None => true,
@@ -445,6 +475,9 @@ pub(crate) fn run_greedy(
                 match best {
                     Some((mv, g)) if g > EPS => {
                         moves += state.apply_move(ps, mv);
+                        if traced {
+                            emit_step(sink, moves, state.objective());
+                        }
                     }
                     _ => break,
                 }
@@ -470,7 +503,9 @@ pub(crate) fn run_greedy(
                 }
                 let mut applied_this_phase = false;
                 while let Some((_, mv)) = heap.pop() {
-                    let Some(gain) = state.gain_of(ps, mv) else { continue };
+                    let Some(gain) = state.gain_of(ps, mv) else {
+                        continue;
+                    };
                     evaluations += 1;
                     if gain <= EPS {
                         continue;
@@ -483,6 +518,9 @@ pub(crate) fn run_greedy(
                         }
                     }
                     moves += state.apply_move(ps, mv);
+                    if traced {
+                        emit_step(sink, moves, state.objective());
+                    }
                     applied_this_phase = true;
                     if moves >= move_cap {
                         break;
@@ -513,10 +551,25 @@ pub(crate) fn run_greedy(
         }
     }
 
+    let final_objective = state.objective();
+    sink.counter_add("greedy.evaluated", evaluations as u64);
+    sink.counter_add("greedy.accepted", moves as u64);
+    if traced {
+        sink.event(
+            "greedy.done",
+            &[
+                ("moves", FieldValue::from(moves)),
+                ("evaluations", FieldValue::from(evaluations)),
+                ("initial_objective", FieldValue::from(initial)),
+                ("final_objective", FieldValue::from(final_objective)),
+            ],
+        );
+    }
+
     GreedyOutcome {
         moves,
         initial_objective: initial,
-        final_objective: state.objective(),
+        final_objective,
         evaluations,
     }
 }
@@ -671,7 +724,12 @@ mod tests {
             ..params()
         };
         let graphs: Vec<_> = (0..40)
-            .map(|i| NetgenSpec::new(60, 150).seed(20 + (i % 3)).generate().unwrap())
+            .map(|i| {
+                NetgenSpec::new(60, 150)
+                    .seed(20 + (i % 3))
+                    .generate()
+                    .unwrap()
+            })
             .collect();
         let mut ps = build_ps(&graphs);
         run_greedy(&mut ps, &p, GreedyMode::Lazy);
@@ -691,7 +749,12 @@ mod tests {
             .map(|i| NetgenSpec::new(50, 140).seed(20 + i).generate().unwrap())
             .collect();
         let graphs_many: Vec<_> = (0..12)
-            .map(|i| NetgenSpec::new(50, 140).seed(20 + (i % 2)).generate().unwrap())
+            .map(|i| {
+                NetgenSpec::new(50, 140)
+                    .seed(20 + (i % 2))
+                    .generate()
+                    .unwrap()
+            })
             .collect();
         let mut ps_few = build_ps(&graphs_few);
         let mut ps_many = build_ps(&graphs_many);

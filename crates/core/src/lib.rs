@@ -55,9 +55,9 @@ mod strategy;
 
 pub use config::{PipelineConfig, StrategyChoice};
 pub use greedy::{GreedyMode, GreedyOutcome};
-pub use offloader::{Offloader, OffloaderBuilder, OffloadReport, StageTimings};
-pub use session::OffloadSession;
+pub use offloader::{OffloadReport, Offloader, OffloaderBuilder, StageTimings};
 pub use parts::{Part, PartSystem};
+pub use session::OffloadSession;
 pub use strategy::{CutError, CutStrategy, StrategyKind};
 
 use std::error::Error;

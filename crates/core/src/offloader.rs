@@ -1,13 +1,15 @@
 //! The end-to-end pipeline driver.
 
-use crate::greedy::{run_greedy, GreedyMode, GreedyOutcome};
+use crate::greedy::{run_greedy_traced, GreedyMode, GreedyOutcome};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
 use crate::PipelineError;
 use mec_graph::Bipartition;
 use mec_labelprop::{CompressionConfig, CompressionStats, Compressor};
 use mec_model::{Evaluation, Scenario};
-use std::time::{Duration, Instant};
+use mec_obs::{span, TraceSink};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Wall-clock time spent in each pipeline stage — the quantity Fig. 9
 /// plots against graph size.
@@ -117,6 +119,7 @@ pub struct OffloaderBuilder {
     compression: CompressionConfig,
     strategy: StrategyKind,
     greedy_mode: GreedyMode,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl OffloaderBuilder {
@@ -138,12 +141,22 @@ impl OffloaderBuilder {
         self
     }
 
+    /// Routes all pipeline telemetry — stage spans, label-propagation
+    /// rounds, eigensolver counters, the greedy objective trajectory —
+    /// to `sink` (defaults to the no-op [`mec_obs::NullSink`]).
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Builds the offloader.
     pub fn build(self) -> Offloader {
+        let sink = self.sink.unwrap_or_else(mec_obs::null_sink);
         Offloader {
             compressor: Compressor::new(self.compression),
-            strategy: self.strategy.build(),
+            strategy: self.strategy.build_with_sink(Arc::clone(&sink)),
             greedy_mode: self.greedy_mode,
+            sink,
         }
     }
 
@@ -154,6 +167,7 @@ impl OffloaderBuilder {
             compressor: Compressor::new(self.compression),
             strategy,
             greedy_mode: self.greedy_mode,
+            sink: self.sink.unwrap_or_else(mec_obs::null_sink),
         }
     }
 }
@@ -164,6 +178,7 @@ pub struct Offloader {
     compressor: Compressor,
     strategy: Box<dyn CutStrategy>,
     greedy_mode: GreedyMode,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Offloader {
@@ -208,10 +223,7 @@ impl Offloader {
     /// # Errors
     ///
     /// Same conditions as [`solve`](Self::solve).
-    pub fn solve_single(
-        &self,
-        graph: &mec_graph::Graph,
-    ) -> Result<OffloadReport, PipelineError> {
+    pub fn solve_single(&self, graph: &mec_graph::Graph) -> Result<OffloadReport, PipelineError> {
         let scenario = Scenario::new(mec_model::SystemParams::default())
             .with_user(mec_model::UserWorkload::new("user", graph.clone()));
         self.solve(&scenario)
@@ -226,29 +238,35 @@ impl Offloader {
     /// bipartitioned; [`PipelineError::Model`] only on internal
     /// invariant violations.
     pub fn solve(&self, scenario: &Scenario) -> Result<OffloadReport, PipelineError> {
+        let sink = self.sink.as_ref();
+        let solve_span = span(sink, "pipeline.solve");
         let mut timings = StageTimings::default();
         let mut parts = PartSystem::new();
         let mut compression_stats = Vec::with_capacity(scenario.user_count());
 
+        // StageTimings is a view over the stage spans: each SpanGuard
+        // measures its own elapsed time, so the numbers are identical
+        // whether the sink records spans or discards them.
         for user in scenario.users() {
-            let t0 = Instant::now();
-            let outcome = self.compressor.compress(user.graph());
-            timings.compression += t0.elapsed();
+            let s = span(sink, "stage.compression");
+            let outcome = self.compressor.compress_traced(user.graph(), sink);
+            timings.compression += s.finish();
 
-            let t1 = Instant::now();
+            let s = span(sink, "stage.cutting");
             let mut cuts = Vec::with_capacity(outcome.components.len());
             for comp in &outcome.components {
                 cuts.push(self.strategy.cut(comp.quotient.graph())?);
             }
-            timings.cutting += t1.elapsed();
+            timings.cutting += s.finish();
 
             compression_stats.push(outcome.stats);
             parts.add_user(user.graph(), &outcome, &cuts);
         }
 
-        let t2 = Instant::now();
-        let greedy = run_greedy(&mut parts, scenario.params(), self.greedy_mode);
-        timings.greedy += t2.elapsed();
+        let s = span(sink, "stage.greedy");
+        let greedy = run_greedy_traced(&mut parts, scenario.params(), self.greedy_mode, sink);
+        timings.greedy += s.finish();
+        drop(solve_span);
 
         let plan = parts.plan();
         let evaluation = scenario.evaluate(&plan)?;
@@ -296,7 +314,11 @@ mod tests {
             StrategyKind::MaxFlow,
             StrategyKind::KernighanLin,
         ] {
-            let report = Offloader::builder().strategy(kind).build().solve(&s).unwrap();
+            let report = Offloader::builder()
+                .strategy(kind)
+                .build()
+                .solve(&s)
+                .unwrap();
             assert_eq!(report.plan.len(), 2);
             assert_eq!(s.validate_plan(&report.plan), Ok(()));
             assert!(report.evaluation.totals.objective() > 0.0);
@@ -392,7 +414,14 @@ mod tests {
         let s = scenario(2, 4);
         let report = Offloader::new().solve(&s).unwrap();
         let summary = report.render_summary();
-        for needle in ["strategy:", "objective", "placement:", "compression:", "greedy:", "timings:"] {
+        for needle in [
+            "strategy:",
+            "objective",
+            "placement:",
+            "compression:",
+            "greedy:",
+            "timings:",
+        ] {
             assert!(summary.contains(needle), "missing {needle} in summary");
         }
     }

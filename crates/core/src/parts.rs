@@ -91,8 +91,13 @@ impl PartSystem {
         let user = self.pinned_work.len();
         self.node_counts.push(graph.node_count());
         self.user_parts.push(Vec::new());
-        self.pinned_work
-            .push(compression.pinned.iter().map(|&n| graph.node_weight(n)).sum());
+        self.pinned_work.push(
+            compression
+                .pinned
+                .iter()
+                .map(|&n| graph.node_weight(n))
+                .sum(),
+        );
 
         // map: original node -> part index (offloadable nodes only)
         const NO_PART: usize = usize::MAX;
@@ -316,8 +321,8 @@ impl PartSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mec_labelprop::{CompressionConfig, Compressor, ThresholdRule};
     use mec_graph::GraphBuilder;
+    use mec_labelprop::{CompressionConfig, Compressor, ThresholdRule};
 
     /// pinned —3— [heavy triangle 0,1,2] —1— [heavy triangle 3,4,5]
     fn build_system() -> (Graph, PartSystem) {
@@ -330,9 +335,8 @@ mod tests {
         b.add_edge(n[2], n[3], 1.0).unwrap();
         b.add_edge(pin, n[0], 3.0).unwrap();
         let g = b.build();
-        let compressor = Compressor::new(
-            CompressionConfig::new().threshold(ThresholdRule::Absolute(5.0)),
-        );
+        let compressor =
+            Compressor::new(CompressionConfig::new().threshold(ThresholdRule::Absolute(5.0)));
         let outcome = compressor.compress(&g);
         // one component, quotient = 2 super-nodes joined by the bridge
         let cuts: Vec<Bipartition> = outcome

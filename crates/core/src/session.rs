@@ -9,15 +9,15 @@
 //! bookkeeping and re-runs the greedy placement against the current
 //! crowd.
 
-use crate::greedy::{run_greedy, GreedyMode};
+use crate::greedy::{run_greedy_traced, GreedyMode};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
 use crate::{OffloadReport, PipelineError, StageTimings};
 use mec_graph::{Bipartition, Graph};
 use mec_labelprop::{CompressionConfig, CompressionOutcome, Compressor};
 use mec_model::{Scenario, SystemParams, UserWorkload};
+use mec_obs::{span, FieldValue, TraceSink};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One user's cached pipeline front-end: the compression outcome and
 /// per-component cuts, computed at join time.
@@ -57,6 +57,7 @@ pub struct OffloadSession {
     strategy: Box<dyn CutStrategy>,
     greedy_mode: GreedyMode,
     users: Vec<PreparedUser>,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl OffloadSession {
@@ -84,7 +85,31 @@ impl OffloadSession {
             strategy: strategy.build(),
             greedy_mode,
             users: Vec::new(),
+            sink: mec_obs::null_sink(),
         }
+    }
+
+    /// Routes session telemetry to `sink`: `session.join` /
+    /// `session.replan` spans, churn events, and what the compression
+    /// and greedy stages emit. (The cut strategy keeps its own sink;
+    /// use [`with_traced_strategy`](Self::with_traced_strategy) to
+    /// route the eigensolver too.)
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Like [`with_trace_sink`](Self::with_trace_sink) but also routes
+    /// the given [`StrategyKind`]'s internals (the spectral
+    /// eigensolver) through the sink.
+    pub fn with_traced_strategy(
+        mut self,
+        strategy: &StrategyKind,
+        sink: Arc<dyn TraceSink>,
+    ) -> Self {
+        self.strategy = strategy.build_with_sink(Arc::clone(&sink));
+        self.sink = sink;
+        self
     }
 
     /// Number of users currently in the session.
@@ -111,7 +136,9 @@ impl OffloadSession {
         graph: Arc<Graph>,
     ) -> Result<(), PipelineError> {
         let name = name.into();
-        let outcome = self.compressor.compress(&graph);
+        let sink = Arc::clone(&self.sink);
+        let join_span = span(sink.as_ref(), "session.join");
+        let outcome = self.compressor.compress_traced(&graph, sink.as_ref());
         let mut cuts = Vec::with_capacity(outcome.components.len());
         for comp in &outcome.components {
             cuts.push(self.strategy.cut(comp.quotient.graph())?);
@@ -126,6 +153,14 @@ impl OffloadSession {
             Some(slot) => *slot = prepared,
             None => self.users.push(prepared),
         }
+        join_span.finish();
+        sink.counter_add("session.joins", 1);
+        if sink.enabled() {
+            sink.event(
+                "session.join",
+                &[("users", FieldValue::from(self.users.len()))],
+            );
+        }
         Ok(())
     }
 
@@ -133,7 +168,17 @@ impl OffloadSession {
     pub fn leave(&mut self, name: &str) -> bool {
         let before = self.users.len();
         self.users.retain(|u| u.name != name);
-        self.users.len() != before
+        let left = self.users.len() != before;
+        if left {
+            self.sink.counter_add("session.leaves", 1);
+            if self.sink.enabled() {
+                self.sink.event(
+                    "session.leave",
+                    &[("users", FieldValue::from(self.users.len()))],
+                );
+            }
+        }
+        left
     }
 
     /// Re-runs the placement for the current crowd using the cached
@@ -144,6 +189,8 @@ impl OffloadSession {
     /// [`PipelineError::Model`] if the session's system parameters are
     /// invalid.
     pub fn replan(&self) -> Result<OffloadReport, PipelineError> {
+        let sink = self.sink.as_ref();
+        let replan_span = span(sink, "session.replan");
         let mut timings = StageTimings::default();
         let mut parts = PartSystem::new();
         let mut compression_stats = Vec::with_capacity(self.users.len());
@@ -151,9 +198,9 @@ impl OffloadSession {
             compression_stats.push(u.outcome.stats);
             parts.add_user(&u.graph, &u.outcome, &u.cuts);
         }
-        let t = Instant::now();
-        let greedy = run_greedy(&mut parts, &self.params, self.greedy_mode);
-        timings.greedy = t.elapsed();
+        let s = span(sink, "stage.greedy");
+        let greedy = run_greedy_traced(&mut parts, &self.params, self.greedy_mode, sink);
+        timings.greedy = s.finish();
 
         let scenario = Scenario::new(self.params).with_users(
             self.users
@@ -162,6 +209,8 @@ impl OffloadSession {
         );
         let plan = parts.plan();
         let evaluation = scenario.evaluate(&plan)?;
+        replan_span.finish();
+        sink.counter_add("session.replans", 1);
         Ok(OffloadReport {
             plan,
             evaluation,
@@ -198,9 +247,8 @@ mod tests {
         let one_shot = Offloader::new().solve(&scenario).unwrap();
         assert_eq!(via_session.plan, one_shot.plan);
         assert!(
-            (via_session.evaluation.totals.objective()
-                - one_shot.evaluation.totals.objective())
-            .abs()
+            (via_session.evaluation.totals.objective() - one_shot.evaluation.totals.objective())
+                .abs()
                 < 1e-9
         );
     }
@@ -226,7 +274,10 @@ mod tests {
         let before = session.replan().unwrap();
         // same name, different (larger) app
         session
-            .join("a", Arc::new(NetgenSpec::new(150, 450).seed(9).generate().unwrap()))
+            .join(
+                "a",
+                Arc::new(NetgenSpec::new(150, 450).seed(9).generate().unwrap()),
+            )
             .unwrap();
         assert_eq!(session.user_count(), 1);
         let after = session.replan().unwrap();

@@ -1,8 +1,11 @@
 //! Pluggable minimum-cut backends.
 
-use mec_baselines::{BaselineError, KernighanLin, MaxFlowBisector, MultilevelBisector, TrialSelection};
+use mec_baselines::{
+    BaselineError, KernighanLin, MaxFlowBisector, MultilevelBisector, TrialSelection,
+};
 use mec_engine::Cluster;
 use mec_graph::{Bipartition, Graph, Side};
+use mec_obs::TraceSink;
 use mec_spectral::{SpectralBisector, SpectralError};
 use std::error::Error;
 use std::fmt;
@@ -94,12 +97,23 @@ pub enum StrategyKind {
 impl StrategyKind {
     /// Instantiates the strategy.
     pub fn build(&self) -> Box<dyn CutStrategy> {
+        self.build_with_sink(mec_obs::null_sink())
+    }
+
+    /// Instantiates the strategy with telemetry routed to `sink`. The
+    /// spectral backends forward the sink to the eigensolver (Lanczos
+    /// iteration/restart counters, `spectral.cut` events); the
+    /// combinatorial baselines have nothing iterative to report and
+    /// ignore it.
+    pub fn build_with_sink(&self, sink: Arc<dyn TraceSink>) -> Box<dyn CutStrategy> {
         match self {
             StrategyKind::Spectral => Box::new(SpectralStrategy {
-                bisector: SpectralBisector::new(),
+                bisector: SpectralBisector::new().with_trace_sink(sink),
             }),
             StrategyKind::SpectralParallel { cluster, blocks } => Box::new(SpectralStrategy {
-                bisector: SpectralBisector::new().with_cluster(Arc::clone(cluster), *blocks),
+                bisector: SpectralBisector::new()
+                    .with_cluster(Arc::clone(cluster), *blocks)
+                    .with_trace_sink(sink),
             }),
             // ratio-based trial selection: raw min-weight s–t cuts peel
             // single nodes, which makes the offloading split useless
@@ -258,7 +272,12 @@ mod tests {
         .collect();
         assert_eq!(
             names,
-            vec!["spectral", "max-flow-min-cut", "kernighan-lin", "multilevel"]
+            vec![
+                "spectral",
+                "max-flow-min-cut",
+                "kernighan-lin",
+                "multilevel"
+            ]
         );
     }
 

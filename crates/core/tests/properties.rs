@@ -66,7 +66,8 @@ fn build(spec: &ScenarioSpec) -> Scenario {
         })
         .collect();
     Scenario::new(params).with_users(
-        (0..spec.users).map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % pool.len()]))),
+        (0..spec.users)
+            .map(|i| UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % pool.len()]))),
     )
 }
 

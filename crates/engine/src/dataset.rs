@@ -161,12 +161,8 @@ impl<T: Send + Sync + Clone + 'static> Dataset<T> {
             offsets.push(acc);
             acc += p.len();
         }
-        let inputs: Vec<(Arc<Vec<T>>, usize)> = self
-            .partitions
-            .iter()
-            .cloned()
-            .zip(offsets)
-            .collect();
+        let inputs: Vec<(Arc<Vec<T>>, usize)> =
+            self.partitions.iter().cloned().zip(offsets).collect();
         let parts = self
             .cluster
             .run_stage(inputs, move |_, (p, off)| {
@@ -243,14 +239,20 @@ mod tests {
     fn map_preserves_order() {
         let d = Dataset::from_vec(cluster(), (0..50).collect(), 7);
         let doubled = d.map(|x| x * 2);
-        assert_eq!(doubled.collect(), (0..50).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(
+            doubled.collect(),
+            (0..50).map(|x| x * 2).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn filter_keeps_matching_elements_in_order() {
         let d = Dataset::from_vec(cluster(), (0..20).collect(), 4);
         let even = d.filter(|x| x % 2 == 0);
-        assert_eq!(even.collect(), (0..20).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(
+            even.collect(),
+            (0..20).filter(|x| x % 2 == 0).collect::<Vec<_>>()
+        );
         assert_eq!(even.count(), 10);
     }
 
@@ -309,7 +311,10 @@ mod tests {
     #[test]
     fn chained_pipeline() {
         let d = Dataset::from_vec(cluster(), (1..=10).collect(), 3);
-        let result = d.map(|x| x * x).filter(|x| x % 2 == 1).reduce(0, |a, b| a + b);
+        let result = d
+            .map(|x| x * x)
+            .filter(|x| x % 2 == 1)
+            .reduce(0, |a, b| a + b);
         // odd squares of 1..=10: 1 + 9 + 25 + 49 + 81 = 165
         assert_eq!(result, 165);
     }

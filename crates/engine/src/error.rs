@@ -42,7 +42,9 @@ mod tests {
             EngineError::NoWorkers.to_string(),
             "cluster requires at least one worker"
         );
-        assert!(EngineError::WorkerFailed { task: 3 }.to_string().contains("task 3"));
+        assert!(EngineError::WorkerFailed { task: 3 }
+            .to_string()
+            .contains("task 3"));
     }
 
     #[test]

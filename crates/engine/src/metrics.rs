@@ -1,5 +1,6 @@
 //! Execution metrics: how much work the cluster actually did.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Internal atomic counters shared between workers.
@@ -45,6 +46,29 @@ impl MetricsSnapshot {
     pub fn mean_task_nanos(&self) -> u64 {
         self.busy_nanos.checked_div(self.tasks).unwrap_or(0)
     }
+
+    /// Re-emits these counters on a trace sink (`engine.stages`,
+    /// `engine.tasks`, `engine.busy_nanos`). The sink's counters are
+    /// monotonic, so call this once per snapshot — typically right
+    /// before exporting a trace.
+    pub fn emit_to(&self, sink: &dyn mec_obs::TraceSink) {
+        sink.counter_add("engine.stages", self.stages);
+        sink.counter_add("engine.tasks", self.tasks);
+        sink.counter_add("engine.busy_nanos", self.busy_nanos);
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stages, {} tasks, {:.3} ms busy (mean task {} ns)",
+            self.stages,
+            self.tasks,
+            self.busy_nanos as f64 / 1e6,
+            self.mean_task_nanos()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +91,32 @@ mod tests {
     #[test]
     fn empty_snapshot_mean_is_zero() {
         assert_eq!(MetricsSnapshot::default().mean_task_nanos(), 0);
+    }
+
+    #[test]
+    fn display_covers_all_counters() {
+        let s = MetricsSnapshot {
+            stages: 2,
+            tasks: 4,
+            busy_nanos: 8_000_000,
+        };
+        let text = s.to_string();
+        assert!(text.contains("2 stages"));
+        assert!(text.contains("4 tasks"));
+        assert!(text.contains("2000000 ns"));
+    }
+
+    #[test]
+    fn emit_to_forwards_counters() {
+        let rec = mec_obs::Recorder::new();
+        let s = MetricsSnapshot {
+            stages: 3,
+            tasks: 7,
+            busy_nanos: 100,
+        };
+        s.emit_to(&rec);
+        assert_eq!(rec.counter_value("engine.stages"), 3);
+        assert_eq!(rec.counter_value("engine.tasks"), 7);
+        assert_eq!(rec.counter_value("engine.busy_nanos"), 100);
     }
 }

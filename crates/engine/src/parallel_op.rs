@@ -176,7 +176,9 @@ mod tests {
     }
 
     fn ring_edges(n: usize) -> Vec<(usize, usize, f64)> {
-        (0..n).map(|i| (i, (i + 1) % n, 1.0 + (i % 3) as f64)).collect()
+        (0..n)
+            .map(|i| (i, (i + 1) % n, 1.0 + (i % 3) as f64))
+            .collect()
     }
 
     #[test]

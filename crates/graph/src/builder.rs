@@ -87,7 +87,8 @@ impl GraphBuilder {
     /// Panics if `weight` is negative or non-finite; use
     /// [`try_add_node`](Self::try_add_node) for fallible insertion.
     pub fn add_node(&mut self, weight: f64) -> NodeId {
-        self.try_add_node(weight, true).expect("invalid node weight")
+        self.try_add_node(weight, true)
+            .expect("invalid node weight")
     }
 
     /// Adds an *unoffloadable* function (sensor / local-I/O bound).
@@ -96,7 +97,8 @@ impl GraphBuilder {
     ///
     /// Panics if `weight` is negative or non-finite.
     pub fn add_pinned_node(&mut self, weight: f64) -> NodeId {
-        self.try_add_node(weight, false).expect("invalid node weight")
+        self.try_add_node(weight, false)
+            .expect("invalid node weight")
     }
 
     /// Adds a function, specifying offloadability explicitly.
@@ -213,8 +215,14 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node(1.0);
         let ghost = NodeId::new(9);
-        assert_eq!(b.add_edge(a, ghost, 1.0), Err(GraphError::UnknownNode(ghost)));
-        assert_eq!(b.add_edge(ghost, a, 1.0), Err(GraphError::UnknownNode(ghost)));
+        assert_eq!(
+            b.add_edge(a, ghost, 1.0),
+            Err(GraphError::UnknownNode(ghost))
+        );
+        assert_eq!(
+            b.add_edge(ghost, a, 1.0),
+            Err(GraphError::UnknownNode(ghost))
+        );
     }
 
     #[test]
@@ -266,10 +274,7 @@ mod tests {
         let a = b.add_node(1.0);
         let c = b.add_node(1.0);
         b.add_edge(a, c, 2.0).unwrap();
-        assert_eq!(
-            b.add_edge(a, c, 3.0),
-            Err(GraphError::ParallelEdge(a, c))
-        );
+        assert_eq!(b.add_edge(a, c, 3.0), Err(GraphError::ParallelEdge(a, c)));
     }
 
     #[test]

@@ -27,9 +27,7 @@ impl CsrAdjacency {
         let mut weights = Vec::with_capacity(2 * g.edge_count());
         for node in g.node_ids() {
             for nb in g.neighbors(node) {
-                columns.push(
-                    u32::try_from(nb.node.index()).expect("node index exceeds u32"),
-                );
+                columns.push(u32::try_from(nb.node.index()).expect("node index exceeds u32"));
                 weights.push(g.edge_weight(nb.edge));
             }
             offsets.push(columns.len());

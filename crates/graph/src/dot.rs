@@ -78,7 +78,11 @@ impl Graph {
         }
         for e in self.edges() {
             let crossing = cut.side(e.source) != cut.side(e.target);
-            let style = if crossing { ", style=dashed, color=red" } else { "" };
+            let style = if crossing {
+                ", style=dashed, color=red"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  {} -- {} [label=\"{:.1}\"{}];",

@@ -80,8 +80,14 @@ impl Graph {
         let mut adjacency = vec![Vec::new(); node_weights.len()];
         for (i, e) in edges.iter().enumerate() {
             let id = EdgeId::new(i);
-            adjacency[e.a.index()].push(NeighborRef { node: e.b, edge: id });
-            adjacency[e.b.index()].push(NeighborRef { node: e.a, edge: id });
+            adjacency[e.a.index()].push(NeighborRef {
+                node: e.b,
+                edge: id,
+            });
+            adjacency[e.b.index()].push(NeighborRef {
+                node: e.a,
+                edge: id,
+            });
         }
         Graph {
             node_weights,

@@ -156,14 +156,15 @@ impl Graph {
     /// The node maximising `f`; ties go to the smaller id. `None` on an
     /// empty graph.
     pub fn argmax_node(&self, mut f: impl FnMut(NodeId) -> f64) -> Option<NodeId> {
-        self.node_ids().fold(None, |best, n| {
-            let v = f(n);
-            match best {
-                Some((_, bv)) if bv >= v => best,
-                _ => Some((n, v)),
-            }
-        })
-        .map(|(n, _)| n)
+        self.node_ids()
+            .fold(None, |best, n| {
+                let v = f(n);
+                match best {
+                    Some((_, bv)) if bv >= v => best,
+                    _ => Some((n, v)),
+                }
+            })
+            .map(|(n, _)| n)
     }
 }
 

@@ -240,19 +240,20 @@ mod tests {
     #[test]
     fn node_weight_on_sums_by_side() {
         let g = path4();
-        let p = Bipartition::from_fn(4, |i| if i % 2 == 0 { Side::Local } else { Side::Remote });
+        let p = Bipartition::from_fn(4, |i| {
+            if i % 2 == 0 {
+                Side::Local
+            } else {
+                Side::Remote
+            }
+        });
         assert_eq!(p.node_weight_on(&g, Side::Local), 0.0 + 2.0);
         assert_eq!(p.node_weight_on(&g, Side::Remote), 1.0 + 3.0);
     }
 
     #[test]
     fn nodes_on_enumerates_in_order() {
-        let p = Bipartition::from_sides(vec![
-            Side::Remote,
-            Side::Local,
-            Side::Remote,
-            Side::Local,
-        ]);
+        let p = Bipartition::from_sides(vec![Side::Remote, Side::Local, Side::Remote, Side::Local]);
         let locals: Vec<_> = p.nodes_on(Side::Local).map(NodeId::index).collect();
         assert_eq!(locals, vec![1, 3]);
     }

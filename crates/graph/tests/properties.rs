@@ -11,10 +11,7 @@ use proptest::prelude::*;
 fn arb_graph() -> impl Strategy<Value = mec_graph::Graph> {
     (2usize..40).prop_flat_map(|n| {
         let weights = proptest::collection::vec(0.0f64..100.0, n);
-        let edges = proptest::collection::vec(
-            ((0..n), (0..n), 0.1f64..50.0),
-            0..(n * 3).min(120),
-        );
+        let edges = proptest::collection::vec(((0..n), (0..n), 0.1f64..50.0), 0..(n * 3).min(120));
         (weights, edges).prop_map(move |(ws, es)| {
             let mut b = GraphBuilder::new();
             let ids: Vec<_> = ws.iter().map(|&w| b.add_node(w)).collect();

@@ -1,7 +1,8 @@
 //! Algorithm 1 end to end: removal, split, propagation, merge.
 
-use crate::{propagate_labels, CompressionConfig, LabelingOutcome};
+use crate::{propagate_labels_traced, CompressionConfig, LabelingOutcome};
 use mec_graph::{Graph, NodeGrouping, NodeId, QuotientGraph, Subgraph};
+use mec_obs::{FieldValue, TraceSink};
 
 /// One compressed connected piece of the offloadable graph.
 #[derive(Debug, Clone)]
@@ -91,6 +92,14 @@ impl Compressor {
     /// propagate labels per component (in parallel when configured) →
     /// merge directly-connected same-label nodes.
     pub fn compress(&self, g: &Graph) -> CompressionOutcome {
+        self.compress_traced(g, &mec_obs::NullSink)
+    }
+
+    /// [`Compressor::compress`] with telemetry: threads `sink` into
+    /// every per-component label propagation (so each round emits a
+    /// `labelprop.round` event), bumps `compress.components`, and emits
+    /// one `compress.stats` event summarising the Table-I numbers.
+    pub fn compress_traced(&self, g: &Graph, sink: &dyn TraceSink) -> CompressionOutcome {
         // line 1: remove unoffloadable functions
         let pinned: Vec<NodeId> = g.node_ids().filter(|&n| !g.is_offloadable(n)).collect();
         let offloadable: Vec<NodeId> = g.node_ids().filter(|&n| g.is_offloadable(n)).collect();
@@ -104,7 +113,7 @@ impl Compressor {
         // lines 5–16: per-component propagation + merge
         let config = &self.config;
         let process = |piece: &Subgraph| -> CompressedComponent {
-            let labeling = propagate_labels(piece.graph(), config);
+            let labeling = propagate_labels_traced(piece.graph(), config, sink);
             let grouping = merge_grouping(piece.graph(), &labeling.labels);
             let quotient = QuotientGraph::contract(piece.graph(), grouping);
             // remap the piece's nodes to the original graph through the
@@ -123,10 +132,7 @@ impl Compressor {
         };
         let components: Vec<CompressedComponent> = if config.parallel && pieces.len() > 1 {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = pieces
-                    .iter()
-                    .map(|p| scope.spawn(|| process(p)))
-                    .collect();
+                let handles: Vec<_> = pieces.iter().map(|p| scope.spawn(|| process(p))).collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("compression worker panicked"))
@@ -152,6 +158,26 @@ impl Compressor {
             components: components.len(),
             rounds: components.iter().map(|c| c.labeling.rounds).sum(),
         };
+        sink.counter_add("compress.components", stats.components as u64);
+        if sink.enabled() {
+            sink.event(
+                "compress.stats",
+                &[
+                    (
+                        "offloadable_nodes",
+                        FieldValue::from(stats.offloadable_nodes),
+                    ),
+                    (
+                        "offloadable_edges",
+                        FieldValue::from(stats.offloadable_edges),
+                    ),
+                    ("compressed_nodes", FieldValue::from(stats.compressed_nodes)),
+                    ("compressed_edges", FieldValue::from(stats.compressed_edges)),
+                    ("components", FieldValue::from(stats.components)),
+                    ("rounds", FieldValue::from(stats.rounds)),
+                ],
+            );
+        }
         CompressionOutcome {
             pinned,
             components,
@@ -233,7 +259,11 @@ mod tests {
         let q = &out.components[0].quotient;
         assert_eq!(q.graph().total_edge_weight(), 1.0);
         // node weights are conserved: 1+2+3 and 4+5+6
-        let mut ws: Vec<f64> = q.graph().node_ids().map(|n| q.graph().node_weight(n)).collect();
+        let mut ws: Vec<f64> = q
+            .graph()
+            .node_ids()
+            .map(|n| q.graph().node_weight(n))
+            .collect();
         ws.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(ws, vec![6.0, 15.0]);
     }

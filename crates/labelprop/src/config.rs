@@ -31,9 +31,7 @@ impl ThresholdRule {
         }
         match *self {
             ThresholdRule::Absolute(w) => w,
-            ThresholdRule::MeanFactor(f) => {
-                f * g.total_edge_weight() / g.edge_count() as f64
-            }
+            ThresholdRule::MeanFactor(f) => f * g.total_edge_weight() / g.edge_count() as f64,
             ThresholdRule::Quantile(q) => {
                 let mut ws: Vec<f64> = g.edges().map(|e| e.weight).collect();
                 ws.sort_by(|a, b| a.partial_cmp(b).expect("weights are finite"));

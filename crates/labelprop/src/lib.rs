@@ -40,4 +40,4 @@ mod propagate;
 
 pub use compress::{CompressedComponent, CompressionOutcome, CompressionStats, Compressor};
 pub use config::{CompressionConfig, ThresholdRule, TraversalPolicy};
-pub use propagate::{propagate_labels, LabelingOutcome};
+pub use propagate::{propagate_labels, propagate_labels_traced, LabelingOutcome};

@@ -2,6 +2,7 @@
 
 use crate::{CompressionConfig, TraversalPolicy};
 use mec_graph::{Graph, NodeId};
+use mec_obs::{FieldValue, TraceSink};
 use std::collections::HashMap;
 
 /// Result of running label propagation on one sub-graph.
@@ -91,6 +92,19 @@ fn visit_order(g: &Graph, policy: TraversalPolicy) -> Vec<NodeId> {
 ///
 /// Deterministic: ties break toward the smaller label.
 pub fn propagate_labels(g: &Graph, config: &CompressionConfig) -> LabelingOutcome {
+    propagate_labels_traced(g, config, &mec_obs::NullSink)
+}
+
+/// [`propagate_labels`] with telemetry: emits one `labelprop.round`
+/// event per propagation round (round number, updates, update rate `α`,
+/// distinct label count) and bumps the `labelprop.rounds` counter on
+/// `sink`. Behaviour and result are identical to the untraced entry
+/// point; event payloads are only assembled when the sink is enabled.
+pub fn propagate_labels_traced(
+    g: &Graph,
+    config: &CompressionConfig,
+    sink: &dyn TraceSink,
+) -> LabelingOutcome {
     let n = g.node_count();
     let threshold = config.threshold.resolve(g);
     if n == 0 {
@@ -126,6 +140,27 @@ pub fn propagate_labels(g: &Graph, config: &CompressionConfig) -> LabelingOutcom
         }
     }
     let mut rounds = 1usize;
+    let traced = sink.enabled();
+    let emit_round = |round: usize, updates: usize, alpha: f64, labels: &[usize]| {
+        let distinct = labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        sink.event(
+            "labelprop.round",
+            &[
+                ("round", FieldValue::from(round)),
+                ("updates", FieldValue::from(updates)),
+                ("alpha", FieldValue::from(alpha)),
+                ("labels", FieldValue::from(distinct)),
+            ],
+        );
+    };
+    if traced {
+        // the initial sweep assigns every node, so by convention it
+        // reports updates = n and α = 1.0
+        emit_round(1, n, 1.0, &labels);
+    }
 
     // refinement rounds: adopt the heaviest-coupled neighbouring label
     while rounds < config.max_rounds {
@@ -158,10 +193,14 @@ pub fn propagate_labels(g: &Graph, config: &CompressionConfig) -> LabelingOutcom
         }
         rounds += 1;
         let alpha = updates as f64 / n as f64;
+        if traced {
+            emit_round(rounds, updates, alpha, &labels);
+        }
         if alpha <= config.alpha_threshold {
             break;
         }
     }
+    sink.counter_add("labelprop.rounds", rounds as u64);
 
     LabelingOutcome {
         labels,

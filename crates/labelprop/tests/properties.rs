@@ -7,19 +7,17 @@ use mec_netgen::NetgenSpec;
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = mec_graph::Graph> {
-    (30usize..120, 1usize..4, 0.0f64..0.5, 0u64..1000).prop_map(
-        |(nodes, comps, pin_frac, seed)| {
-            // stay well inside per-component pair capacity so every
-            // sampled spec is feasible
-            let edges = nodes * 2;
-            NetgenSpec::new(nodes, edges)
-                .components(comps)
-                .unoffloadable_fraction(pin_frac)
-                .seed(seed)
-                .generate()
-                .expect("spec is feasible")
-        },
-    )
+    (30usize..120, 1usize..4, 0.0f64..0.5, 0u64..1000).prop_map(|(nodes, comps, pin_frac, seed)| {
+        // stay well inside per-component pair capacity so every
+        // sampled spec is feasible
+        let edges = nodes * 2;
+        NetgenSpec::new(nodes, edges)
+            .components(comps)
+            .unoffloadable_fraction(pin_frac)
+            .seed(seed)
+            .generate()
+            .expect("spec is feasible")
+    })
 }
 
 proptest! {

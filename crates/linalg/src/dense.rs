@@ -294,8 +294,8 @@ mod tests {
 
     #[test]
     fn from_op_recovers_matrix() {
-        let m = DenseMatrix::from_rows(3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0])
-            .unwrap();
+        let m =
+            DenseMatrix::from_rows(3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0]).unwrap();
         let back = DenseMatrix::from_op(&m);
         assert_eq!(m, back);
     }
@@ -346,8 +346,8 @@ mod tests {
 
     #[test]
     fn jacobi_trace_is_preserved() {
-        let m = DenseMatrix::from_rows(3, vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0])
-            .unwrap();
+        let m =
+            DenseMatrix::from_rows(3, vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0]).unwrap();
         let (vals, _) = jacobi_eigen(&m, &JacobiOptions::default()).unwrap();
         let trace = 5.0 + 4.0 + 3.0;
         assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-9);

@@ -12,6 +12,7 @@
 use crate::tridiag::tridiagonal_eigen;
 use crate::vector::{axpy, dot, normalize, orthogonalize_against};
 use crate::{jacobi_eigen, DenseMatrix, JacobiOptions, LinalgError, SymOp};
+use mec_obs::{FieldValue, TraceSink};
 
 /// One converged eigenpair.
 #[derive(Debug, Clone)]
@@ -92,6 +93,22 @@ pub fn lanczos<A: SymOp>(
     steps: usize,
     opts: &LanczosOptions,
 ) -> Result<LanczosResult, LinalgError> {
+    lanczos_traced(op, steps, opts, &mec_obs::NullSink)
+}
+
+/// [`lanczos`] with telemetry: bumps the `lanczos.iterations` counter
+/// per recurrence step and `lanczos.restarts` per breakdown restart on
+/// `sink`. Numerically identical to the untraced entry point.
+///
+/// # Errors
+///
+/// Same as [`lanczos`].
+pub fn lanczos_traced<A: SymOp>(
+    op: &A,
+    steps: usize,
+    opts: &LanczosOptions,
+    sink: &dyn TraceSink,
+) -> Result<LanczosResult, LinalgError> {
     let n = op.dim();
     if n == 0 {
         return Ok(LanczosResult {
@@ -115,6 +132,7 @@ pub fn lanczos<A: SymOp>(
     let mut v = random_unit_vector(n, &mut seed);
     let mut w = vec![0.0; n];
     let breakdown_tol = 1e-12;
+    let mut restarts = 0u64;
 
     while basis.len() < m {
         op.apply(&v, &mut w);
@@ -142,6 +160,7 @@ pub fn lanczos<A: SymOp>(
             if r <= breakdown_tol {
                 break; // the whole space is spanned
             }
+            restarts += 1;
             betas.push(0.0);
             v = fresh;
         } else {
@@ -149,6 +168,10 @@ pub fn lanczos<A: SymOp>(
             v = std::mem::take(&mut w);
         }
         w = vec![0.0; n];
+    }
+    sink.counter_add("lanczos.iterations", alphas.len() as u64);
+    if restarts > 0 {
+        sink.counter_add("lanczos.restarts", restarts);
     }
     Ok(LanczosResult {
         alphas,
@@ -186,6 +209,24 @@ pub fn smallest_eigenpairs<A: SymOp>(
     k: usize,
     opts: &LanczosOptions,
 ) -> Result<Vec<Eigenpair>, LinalgError> {
+    smallest_eigenpairs_traced(op, k, opts, &mec_obs::NullSink)
+}
+
+/// [`smallest_eigenpairs`] with telemetry: each Krylov burst emits a
+/// `lanczos.burst` event (subspace dimension, residual estimate,
+/// convergence flag), dense fallbacks bump `lanczos.dense_solves`, and
+/// converged iterative solves bump `lanczos.solves`. Numerically
+/// identical to the untraced entry point.
+///
+/// # Errors
+///
+/// Same as [`smallest_eigenpairs`].
+pub fn smallest_eigenpairs_traced<A: SymOp>(
+    op: &A,
+    k: usize,
+    opts: &LanczosOptions,
+    sink: &dyn TraceSink,
+) -> Result<Vec<Eigenpair>, LinalgError> {
     let n = op.dim();
     if k > n {
         return Err(LinalgError::TooManyEigenpairs {
@@ -197,6 +238,7 @@ pub fn smallest_eigenpairs<A: SymOp>(
         return Ok(vec![]);
     }
     if n <= opts.dense_cutoff {
+        sink.counter_add("lanczos.dense_solves", 1);
         let dense = DenseMatrix::from_op(op);
         // Householder + QL for anything non-trivial; Jacobi's sturdier
         // rotations only for very small systems where its cost is nil.
@@ -216,7 +258,7 @@ pub fn smallest_eigenpairs<A: SymOp>(
     // grow the Krylov space in bursts, testing convergence between them
     let mut dim = (4 * k + 20).min(n);
     loop {
-        let run = lanczos(op, dim, opts)?;
+        let run = lanczos_traced(op, dim, opts, sink)?;
         let t = tridiagonal_eigen(&run.alphas, &run.betas)?;
         let m = run.alphas.len();
         if m >= k {
@@ -231,7 +273,21 @@ pub fn smallest_eigenpairs<A: SymOp>(
                 let tail = t.vectors[i][m - 1].abs();
                 beta_last * tail <= opts.tolerance.max(1e-14 * t.values[k - 1].abs())
             });
+            if sink.enabled() {
+                let residual = (0..k)
+                    .map(|i| beta_last * t.vectors[i][m - 1].abs())
+                    .fold(0.0f64, f64::max);
+                sink.event(
+                    "lanczos.burst",
+                    &[
+                        ("dim", FieldValue::from(m)),
+                        ("residual", FieldValue::from(residual)),
+                        ("converged", FieldValue::from(converged || m >= n)),
+                    ],
+                );
+            }
             if converged || m >= n {
+                sink.counter_add("lanczos.solves", 1);
                 let mut out = Vec::with_capacity(k);
                 for i in 0..k {
                     let mut x = vec![0.0; n];

@@ -67,7 +67,10 @@ pub use cg::{CgOutcome, ConjugateGradient};
 pub use dense::{jacobi_eigen, DenseMatrix, JacobiOptions};
 pub use error::LinalgError;
 pub use householder::{householder_eigen, householder_tridiagonalize, HouseholderReduction};
-pub use lanczos::{lanczos, smallest_eigenpairs, Eigenpair, LanczosOptions, LanczosResult};
+pub use lanczos::{
+    lanczos, lanczos_traced, smallest_eigenpairs, smallest_eigenpairs_traced, Eigenpair,
+    LanczosOptions, LanczosResult,
+};
 pub use power::{largest_eigenpair, PowerOptions};
 pub use refine::{refine_eigenpair, residual_norm, RefineOptions};
 pub use sparse::CsrMatrix;

@@ -152,7 +152,10 @@ mod tests {
         let before = residual_norm(&l, &rough[1]);
         let refined = refine_eigenpair(&l, &rough[1], &RefineOptions::default()).unwrap();
         let after = residual_norm(&l, &refined);
-        assert!(after <= before, "refinement must not worsen: {after} > {before}");
+        assert!(
+            after <= before,
+            "refinement must not worsen: {after} > {before}"
+        );
         assert!(after < 1e-6, "expected a tight pair, residual {after}");
         let expected = 2.0 - 2.0 * (std::f64::consts::PI / 40.0).cos();
         assert!((refined.value - expected).abs() < 1e-8);

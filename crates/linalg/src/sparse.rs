@@ -206,9 +206,11 @@ mod tests {
 
     #[test]
     fn laplacian_rows_sum_to_zero() {
-        let l =
-            CsrMatrix::laplacian_from_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0)])
-                .unwrap();
+        let l = CsrMatrix::laplacian_from_edges(
+            4,
+            &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0)],
+        )
+        .unwrap();
         assert!(l.is_symmetric());
         let mut y = vec![0.0; 4];
         l.apply(&[1.0; 4], &mut y);

@@ -202,7 +202,8 @@ mod tests {
         let off = vec![-1.0; n - 1];
         let eig = tridiagonal_eigen(&diag, &off).unwrap();
         for (k, lam) in eig.values.iter().enumerate() {
-            let expected = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n + 1) as f64).cos();
+            let expected =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n + 1) as f64).cos();
             assert!(
                 (lam - expected).abs() < 1e-10,
                 "eigenvalue {k}: got {lam}, expected {expected}"

@@ -298,7 +298,9 @@ mod tests {
     fn user_cost_helpers_sum_components() {
         let eval = single_user(vec![Side::Local, Side::Remote]);
         let c = eval.per_user[0];
-        assert!((c.time() - (c.local_time + c.remote_time + c.wait_time + c.tx_time)).abs() < 1e-15);
+        assert!(
+            (c.time() - (c.local_time + c.remote_time + c.wait_time + c.tx_time)).abs() < 1e-15
+        );
         assert!((c.energy() - (c.local_energy + c.tx_energy)).abs() < 1e-15);
     }
 

@@ -94,7 +94,10 @@ impl fmt::Display for ModelError {
                 write!(f, "partition for user {user} covers too few nodes")
             }
             ModelError::PinnedNodeOffloaded { user, node } => {
-                write!(f, "unoffloadable node {node} of user {user} placed on the server")
+                write!(
+                    f,
+                    "unoffloadable node {node} of user {user} placed on the server"
+                )
             }
             ModelError::InvalidParams(what) => write!(f, "invalid system parameter: {what}"),
         }

@@ -106,7 +106,10 @@ mod tests {
         let p = SystemParams::default();
         assert_eq!(p.validate(), Ok(()));
         assert!(p.tx_power > p.local_power, "paper: p_t >> p_c");
-        assert!(p.server_capacity > p.local_capacity, "server outpowers device");
+        assert!(
+            p.server_capacity > p.local_capacity,
+            "server outpowers device"
+        );
     }
 
     #[test]

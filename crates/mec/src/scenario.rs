@@ -106,7 +106,11 @@ impl Scenario {
     /// [`ModelError::InvalidParams`] if the system parameters are
     /// invalid.
     pub fn evaluate_all_local(&self) -> Result<crate::Evaluation, ModelError> {
-        let plan: Vec<Bipartition> = self.users.iter().map(UserWorkload::all_local_plan).collect();
+        let plan: Vec<Bipartition> = self
+            .users
+            .iter()
+            .map(UserWorkload::all_local_plan)
+            .collect();
         self.evaluate(&plan)
     }
 
@@ -118,7 +122,11 @@ impl Scenario {
     /// [`ModelError::InvalidParams`] if the system parameters are
     /// invalid.
     pub fn evaluate_all_remote(&self) -> Result<crate::Evaluation, ModelError> {
-        let plan: Vec<Bipartition> = self.users.iter().map(UserWorkload::all_remote_plan).collect();
+        let plan: Vec<Bipartition> = self
+            .users
+            .iter()
+            .map(UserWorkload::all_remote_plan)
+            .collect();
         self.evaluate(&plan)
     }
 

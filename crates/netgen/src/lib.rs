@@ -81,7 +81,10 @@ impl fmt::Display for NetgenError {
                 "{requested} edges cannot keep the graph connected (need at least {needed})"
             ),
             NetgenError::TooManyEdges { requested, max } => {
-                write!(f, "{requested} edges exceed the {max} distinct pairs available")
+                write!(
+                    f,
+                    "{requested} edges exceed the {max} distinct pairs available"
+                )
             }
             NetgenError::TooManyComponents { components, nodes } => {
                 write!(f, "{components} components exceed {nodes} nodes")
@@ -145,7 +148,13 @@ impl NetgenSpec {
     /// (250, 1214), (500, 2643), (1000, 4912), (2000, 9578),
     /// (5000, 40243).
     pub fn table1_rows() -> [(usize, usize); 5] {
-        [(250, 1214), (500, 2643), (1000, 4912), (2000, 9578), (5000, 40243)]
+        [
+            (250, 1214),
+            (500, 2643),
+            (1000, 4912),
+            (2000, 9578),
+            (5000, 40243),
+        ]
     }
 
     /// Sets the number of components the node set is split into.
@@ -287,9 +296,7 @@ impl NetgenSpec {
         }
         for flag in &pin_flags {
             let w = sample_range(&mut rng, self.node_weight);
-            let _ = b
-                .try_add_node(w, !flag)
-                .expect("sampled weights are valid");
+            let _ = b.try_add_node(w, !flag).expect("sampled weights are valid");
         }
 
         // per-component edge budgets: proportional to pair capacity
@@ -325,7 +332,10 @@ impl NetgenSpec {
                     progressed = true;
                 }
             }
-            assert!(progressed, "edge budget exceeds capacity despite validation");
+            assert!(
+                progressed,
+                "edge budget exceeds capacity despite validation"
+            );
         }
 
         // Build each component as a small module graph: every cluster
@@ -352,17 +362,19 @@ impl NetgenSpec {
             for &cs in &cluster_sizes {
                 offsets.push(offsets.last().unwrap() + cs);
             }
-            let cluster_of = |i: usize| -> usize {
-                offsets.partition_point(|&o| o <= i) - 1
-            };
+            let cluster_of = |i: usize| -> usize { offsets.partition_point(|&o| o <= i) - 1 };
             // intra-cluster spanning trees
             for c in 0..k {
                 let (lo, hi) = (offsets[c], offsets[c + 1]);
                 for i in (lo + 1)..hi {
                     let parent = lo + rng.gen_range(0..(i - lo));
                     let w = self.sample_edge_weight(&mut rng);
-                    b.add_edge(ids[parent], ids[i], boost(ids[parent].index(), ids[i].index(), w))
-                        .expect("tree edges are distinct");
+                    b.add_edge(
+                        ids[parent],
+                        ids[i],
+                        boost(ids[parent].index(), ids[i].index(), w),
+                    )
+                    .expect("tree edges are distinct");
                 }
             }
             // light connector chain between consecutive clusters
@@ -384,9 +396,8 @@ impl NetgenSpec {
                 let intra_pairs: usize = cluster_sizes.iter().map(|&cs| cs * (cs - 1) / 2).sum();
                 (all_pairs - intra_pairs).saturating_sub(k - 1)
             };
-            let mut inter_target = (((budget as f64) * self.intercluster_fraction).round()
-                as usize)
-                .min(inter_cap);
+            let mut inter_target =
+                (((budget as f64) * self.intercluster_fraction).round() as usize).min(inter_cap);
             let mut intra_target = budget - inter_target;
             if intra_target > intra_cap {
                 inter_target = (inter_target + (intra_target - intra_cap)).min(inter_cap);
@@ -408,8 +419,7 @@ impl NetgenSpec {
                     continue;
                 }
                 let w = self.sample_edge_weight(&mut rng);
-                if b
-                    .add_edge(ids[a], ids[d], boost(ids[a].index(), ids[d].index(), w))
+                if b.add_edge(ids[a], ids[d], boost(ids[a].index(), ids[d].index(), w))
                     .is_ok()
                 {
                     added += 1;
@@ -424,8 +434,7 @@ impl NetgenSpec {
                     continue;
                 }
                 let w = self.sample_light_weight(&mut rng);
-                if b
-                    .add_edge(ids[a], ids[d], boost(ids[a].index(), ids[d].index(), w))
+                if b.add_edge(ids[a], ids[d], boost(ids[a].index(), ids[d].index(), w))
                     .is_ok()
                 {
                     added += 1;
@@ -492,7 +501,11 @@ mod tests {
 
     #[test]
     fn component_count_is_respected() {
-        let g = NetgenSpec::new(120, 360).components(4).seed(3).generate().unwrap();
+        let g = NetgenSpec::new(120, 360)
+            .components(4)
+            .seed(3)
+            .generate()
+            .unwrap();
         let labeling = ComponentLabeling::compute(&g);
         assert_eq!(labeling.count(), 4);
         let sizes = labeling.sizes();
@@ -501,7 +514,11 @@ mod tests {
 
     #[test]
     fn single_component_is_connected() {
-        let g = NetgenSpec::new(60, 100).components(1).seed(5).generate().unwrap();
+        let g = NetgenSpec::new(60, 100)
+            .components(1)
+            .seed(5)
+            .generate()
+            .unwrap();
         assert!(g.is_connected());
     }
 
@@ -555,8 +572,16 @@ mod tests {
 
     #[test]
     fn pinned_edge_factor_boosts_pin_incident_edges() {
-        let base = NetgenSpec::new(60, 150).seed(4).pinned_edge_factor(1.0).generate().unwrap();
-        let boosted = NetgenSpec::new(60, 150).seed(4).pinned_edge_factor(5.0).generate().unwrap();
+        let base = NetgenSpec::new(60, 150)
+            .seed(4)
+            .pinned_edge_factor(1.0)
+            .generate()
+            .unwrap();
+        let boosted = NetgenSpec::new(60, 150)
+            .seed(4)
+            .pinned_edge_factor(5.0)
+            .generate()
+            .unwrap();
         let pin_weight = |g: &mec_graph::Graph| -> f64 {
             g.edges()
                 .filter(|e| !g.is_offloadable(e.source) || !g.is_offloadable(e.target))
@@ -610,7 +635,11 @@ mod tests {
     #[test]
     fn dense_budget_saturates_components() {
         // complete graph on 6 nodes in 2 components of 3: max = 2 * 3 = 6
-        let g = NetgenSpec::new(6, 6).components(2).seed(1).generate().unwrap();
+        let g = NetgenSpec::new(6, 6)
+            .components(2)
+            .seed(1)
+            .generate()
+            .unwrap();
         assert_eq!(g.edge_count(), 6);
         let labeling = ComponentLabeling::compute(&g);
         assert_eq!(labeling.count(), 2);
@@ -620,7 +649,11 @@ mod tests {
     fn generated_components_have_real_module_structure() {
         // the intended clusters must score high modularity — this is
         // what gives the cut algorithms something to find
-        let g = NetgenSpec::new(125, 500).components(1).seed(8).generate().unwrap();
+        let g = NetgenSpec::new(125, 500)
+            .components(1)
+            .seed(8)
+            .generate()
+            .unwrap();
         let k = 4;
         let sizes = super::split_sizes(125, k);
         let mut raw = Vec::new();
@@ -638,7 +671,11 @@ mod tests {
 
     #[test]
     fn pinned_coupling_concentrates_in_the_core() {
-        let g = NetgenSpec::new(120, 400).components(1).seed(3).generate().unwrap();
+        let g = NetgenSpec::new(120, 400)
+            .components(1)
+            .seed(3)
+            .generate()
+            .unwrap();
         // boosted pinned edges make device coupling a visible fraction
         let frac = g.pinned_coupling_fraction();
         assert!(frac > 0.10, "pinned coupling fraction {frac}");
@@ -647,8 +684,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(NetgenError::NoNodes.to_string().contains("at least one"));
-        assert!(NetgenError::TooFewEdges { requested: 1, needed: 5 }
-            .to_string()
-            .contains("need at least 5"));
+        assert!(NetgenError::TooFewEdges {
+            requested: 1,
+            needed: 5
+        }
+        .to_string()
+        .contains("need at least 5"));
     }
 }

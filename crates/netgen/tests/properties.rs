@@ -15,15 +15,20 @@ struct SpecCase {
 }
 
 fn arb_spec() -> impl Strategy<Value = SpecCase> {
-    (30usize..200, 1usize..4, 0.0f64..0.4, 0u64..1000, 1.0f64..2.5).prop_map(
-        |(nodes, comps, pin, seed, density)| SpecCase {
+    (
+        30usize..200,
+        1usize..4,
+        0.0f64..0.4,
+        0u64..1000,
+        1.0f64..2.5,
+    )
+        .prop_map(|(nodes, comps, pin, seed, density)| SpecCase {
             nodes,
             edges: (nodes as f64 * density) as usize,
             comps,
             pin,
             seed,
-        },
-    )
+        })
 }
 
 fn build(case: &SpecCase) -> mec_graph::Graph {

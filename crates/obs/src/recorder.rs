@@ -1,0 +1,489 @@
+//! The in-memory recording sink and its JSON export.
+
+use crate::{FieldValue, SpanId, TraceSink};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+/// Default capacity of the event ring buffer.
+const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// Monotonically increasing id distinguishing recorders, so the
+/// per-thread span stacks of two live recorders never interfere.
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of (recorder id, span id) for parent attribution.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A completed or in-flight span as the recorder stores it.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span id (1-based, dense).
+    pub id: u64,
+    /// Enclosing span id on the same thread, 0 for roots.
+    pub parent: u64,
+    /// Static span name, e.g. `"stage.compression"`.
+    pub name: &'static str,
+    /// Nanoseconds since the recorder was created.
+    pub start_ns: u64,
+    /// End time, `None` while the span is still open.
+    pub end_ns: Option<u64>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds, `None` while open.
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+}
+
+/// One structured event as the recorder stores it.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Nanoseconds since the recorder was created.
+    pub t_ns: u64,
+    /// Static event name, e.g. `"labelprop.round"`.
+    pub name: &'static str,
+    /// Typed fields in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+struct EventRing {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest element once the ring has wrapped.
+    head: usize,
+}
+
+impl EventRing {
+    fn push(&mut self, ev: TraceEvent) -> bool {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+            false
+        } else {
+            // overwrite the oldest entry
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            true
+        }
+    }
+
+    fn iter_in_order(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, first) = self.buf.split_at(self.head);
+        first.iter().chain(tail.iter())
+    }
+}
+
+/// An in-memory [`TraceSink`]: atomic counters, full span records, and
+/// a bounded event ring buffer, exportable as JSON.
+///
+/// Counter increments take a shared read lock plus one atomic add
+/// (the write lock is only taken the first time a counter name
+/// appears), so hot loops pay near-nothing. Span and event recording
+/// take a mutex; the pipeline emits those at stage granularity, not in
+/// inner loops.
+#[derive(Debug)]
+pub struct Recorder {
+    recorder_id: u64,
+    start: Instant,
+    counters: RwLock<HashMap<&'static str, AtomicU64>>,
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<EventRing>,
+    dropped_events: AtomicU64,
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("len", &self.buf.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the default event capacity.
+    pub fn new() -> Self {
+        Recorder::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A recorder whose ring buffer keeps at most `capacity` events;
+    /// once full, new events overwrite the oldest and the dropped
+    /// count rises.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Recorder {
+            recorder_id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            start: Instant::now(),
+            counters: RwLock::new(HashMap::new()),
+            spans: Mutex::new(Vec::new()),
+            events: Mutex::new(EventRing {
+                buf: Vec::new(),
+                capacity: capacity.max(1),
+                head: 0,
+            }),
+            dropped_events: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("counter map poisoned")
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let map = self.counters.read().expect("counter map poisoned");
+        let mut out: Vec<(String, u64)> = map
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.load(Ordering::Relaxed)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Copies of all span records, in creation order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("span table poisoned").clone()
+    }
+
+    /// Copies of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("event ring poisoned")
+            .iter_in_order()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events evicted from the ring so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events.load(Ordering::Relaxed)
+    }
+
+    /// Serialises the whole trace as a JSON document.
+    ///
+    /// Schema (stable, consumed by `scripts/plot_figures.py`):
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "duration_ns": 12345,
+    ///   "counters": { "greedy.moves_evaluated": 42 },
+    ///   "spans": [ { "id": 1, "parent": 0, "name": "stage.compression",
+    ///                "start_ns": 10, "end_ns": 900, "duration_ns": 890 } ],
+    ///   "events": [ { "t_ns": 15, "name": "labelprop.round",
+    ///                 "fields": { "round": 1, "alpha": 0.5 } } ],
+    ///   "dropped_events": 0
+    /// }
+    /// ```
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"duration_ns\": {},", self.now_ns());
+
+        out.push_str("  \"counters\": {");
+        let counters = self.counters();
+        for (i, (name, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_json_str(&mut out, name);
+            let _ = write!(out, ": {value}");
+        }
+        if !counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
+        out.push_str("  \"spans\": [");
+        let spans = self.spans();
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            let _ = write!(out, "{{ \"id\": {}, \"parent\": {}, ", s.id, s.parent);
+            out.push_str("\"name\": ");
+            write_json_str(&mut out, s.name);
+            let _ = write!(out, ", \"start_ns\": {}", s.start_ns);
+            match s.end_ns {
+                Some(end) => {
+                    let _ = write!(
+                        out,
+                        ", \"end_ns\": {}, \"duration_ns\": {} }}",
+                        end,
+                        end.saturating_sub(s.start_ns)
+                    );
+                }
+                None => out.push_str(", \"end_ns\": null, \"duration_ns\": null }"),
+            }
+        }
+        if !spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+
+        out.push_str("  \"events\": [");
+        let events = self.events();
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            let _ = write!(out, "{{ \"t_ns\": {}, \"name\": ", e.t_ns);
+            write_json_str(&mut out, e.name);
+            out.push_str(", \"fields\": {");
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write_json_str(&mut out, k);
+                out.push_str(": ");
+                write_field_value(&mut out, v);
+            }
+            out.push_str("} }");
+        }
+        if !events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+
+        let _ = write!(out, "  \"dropped_events\": {}\n}}\n", self.dropped_events());
+        out
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        FieldValue::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        FieldValue::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        FieldValue::Str(s) => write_json_str(out, s),
+    }
+}
+
+impl TraceSink for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, name: &'static str) -> SpanId {
+        let start_ns = self.now_ns();
+        let mut spans = self.spans.lock().expect("span table poisoned");
+        let id = spans.len() as u64 + 1;
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(rec, _)| *rec == self.recorder_id)
+                .map_or(0, |(_, span)| *span);
+            stack.push((self.recorder_id, id));
+            parent
+        });
+        spans.push(SpanRecord {
+            id,
+            parent,
+            name,
+            start_ns,
+            end_ns: None,
+        });
+        SpanId(id)
+    }
+
+    fn span_exit(&self, id: SpanId) {
+        if id.is_null() {
+            return;
+        }
+        let end_ns = self.now_ns();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(rec, span)| rec == self.recorder_id && span == id.0)
+            {
+                stack.remove(pos);
+            }
+        });
+        let mut spans = self.spans.lock().expect("span table poisoned");
+        if let Some(record) = spans.get_mut((id.0 - 1) as usize) {
+            if record.end_ns.is_none() {
+                record.end_ns = Some(end_ns);
+            }
+        }
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        {
+            let map = self.counters.read().expect("counter map poisoned");
+            if let Some(c) = map.get(name) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut map = self.counters.write().expect("counter map poisoned");
+        map.entry(name)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let ev = TraceEvent {
+            t_ns: self.now_ns(),
+            name,
+            fields: fields.to_vec(),
+        };
+        let evicted = self.events.lock().expect("event ring poisoned").push(ev);
+        if evicted {
+            self.dropped_events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let rec = std::sync::Arc::new(Recorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rec = std::sync::Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        rec.counter_add("hits", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.counter_value("hits"), 4000);
+    }
+
+    #[test]
+    fn spans_nest_by_thread_order() {
+        let rec = Recorder::new();
+        let outer = span(&rec, "outer");
+        let inner = span(&rec, "inner");
+        inner.finish();
+        outer.finish();
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        let outer_rec = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner_rec = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer_rec.parent, 0);
+        assert_eq!(inner_rec.parent, outer_rec.id);
+        assert!(outer_rec.duration_ns().unwrap() >= inner_rec.duration_ns().unwrap());
+    }
+
+    #[test]
+    fn two_recorders_keep_separate_parent_stacks() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let sa = span(&a, "a_root");
+        let sb = span(&b, "b_root");
+        sb.finish();
+        sa.finish();
+        assert_eq!(a.spans()[0].parent, 0);
+        assert_eq!(b.spans()[0].parent, 0);
+    }
+
+    #[test]
+    fn event_ring_evicts_oldest_and_counts_drops() {
+        let rec = Recorder::with_event_capacity(3);
+        for i in 0..5u64 {
+            rec.event("e", &[("i", FieldValue::U64(i))]);
+        }
+        assert_eq!(rec.dropped_events(), 2);
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        let kept: Vec<u64> = events
+            .iter()
+            .map(|e| match e.fields[0].1 {
+                FieldValue::U64(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn json_export_contains_all_sections() {
+        let rec = Recorder::new();
+        let s = span(&rec, "stage.compression");
+        rec.counter_add("greedy.moves_evaluated", 7);
+        rec.event(
+            "labelprop.round",
+            &[
+                ("round", FieldValue::U64(1)),
+                ("alpha", FieldValue::F64(0.5)),
+            ],
+        );
+        s.finish();
+        let json = rec.to_json_string();
+        for needle in [
+            "\"version\": 1",
+            "\"stage.compression\"",
+            "\"greedy.moves_evaluated\": 7",
+            "\"labelprop.round\"",
+            "\"alpha\": 0.5",
+            "\"dropped_events\": 0",
+            "\"duration_ns\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+}

@@ -3,7 +3,8 @@
 use crate::{GraphLaplacian, SpectralError};
 use mec_engine::{Cluster, ParallelLaplacian};
 use mec_graph::{Bipartition, Graph, Side};
-use mec_linalg::{smallest_eigenpairs, LanczosOptions};
+use mec_linalg::{smallest_eigenpairs_traced, LanczosOptions};
+use mec_obs::{FieldValue, TraceSink};
 use std::sync::Arc;
 
 /// How the Fiedler vector is turned into two node sets.
@@ -59,6 +60,7 @@ pub struct SpectralBisector {
     lanczos: LanczosOptions,
     split: SplitRule,
     cluster: Option<(Arc<Cluster>, usize)>,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl SpectralBisector {
@@ -99,6 +101,14 @@ impl SpectralBisector {
         self.cluster.is_some()
     }
 
+    /// Routes telemetry to `sink`: eigensolver iteration/restart
+    /// counters and one `spectral.cut` event per bisection (Fiedler
+    /// value, cut weight, node count).
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Bisects `g` along its Fiedler vector.
     ///
     /// A single-node graph yields the trivial cut (the node on
@@ -125,10 +135,14 @@ impl SpectralBisector {
                 cut_weight: 0.0,
             });
         }
+        let sink: &dyn TraceSink = match &self.sink {
+            Some(s) => s.as_ref(),
+            None => &mec_obs::NullSink,
+        };
         let pairs = match &self.cluster {
             None => {
                 let l = GraphLaplacian::new(g);
-                smallest_eigenpairs(&l, 2, &self.lanczos)?
+                smallest_eigenpairs_traced(&l, 2, &self.lanczos, sink)?
             }
             Some((cluster, blocks)) => {
                 let edges: Vec<(usize, usize, f64)> = g
@@ -137,7 +151,7 @@ impl SpectralBisector {
                     .collect();
                 let l = ParallelLaplacian::from_edges(Arc::clone(cluster), n, &edges, *blocks)
                     .expect("block count is at least 1");
-                smallest_eigenpairs(&l, 2, &self.lanczos)?
+                smallest_eigenpairs_traced(&l, 2, &self.lanczos, sink)?
             }
         };
         let fiedler_value = pairs[1].value;
@@ -165,6 +179,7 @@ impl SpectralBisector {
                         Side::Remote
                     }
                 });
+                emit_cut(sink, n, fiedler_value, 0.0);
                 return Ok(SpectralCut {
                     partition,
                     fiedler_value,
@@ -179,12 +194,29 @@ impl SpectralBisector {
             rule => split_vector(&fiedler_vector, rule),
         };
         let cut_weight = partition.cut_weight(g);
+        emit_cut(sink, n, fiedler_value, cut_weight);
         Ok(SpectralCut {
             partition,
             fiedler_value,
             fiedler_vector,
             cut_weight,
         })
+    }
+}
+
+/// Emits one `spectral.cut` event and bumps the `spectral.bisections`
+/// counter.
+fn emit_cut(sink: &dyn TraceSink, n: usize, fiedler_value: f64, cut_weight: f64) {
+    sink.counter_add("spectral.bisections", 1);
+    if sink.enabled() {
+        sink.event(
+            "spectral.cut",
+            &[
+                ("nodes", FieldValue::from(n)),
+                ("fiedler_value", FieldValue::from(fiedler_value)),
+                ("cut_weight", FieldValue::from(cut_weight)),
+            ],
+        );
     }
 }
 
@@ -355,7 +387,11 @@ mod tests {
 
     #[test]
     fn parallel_backend_matches_serial() {
-        let g = NetgenSpec::new(120, 400).components(1).seed(3).generate().unwrap();
+        let g = NetgenSpec::new(120, 400)
+            .components(1)
+            .seed(3)
+            .generate()
+            .unwrap();
         let serial = SpectralBisector::new().bisect(&g).unwrap();
         let cluster = Arc::new(Cluster::new(4).unwrap());
         let parallel = SpectralBisector::new()
@@ -380,7 +416,11 @@ mod tests {
     #[test]
     fn sweep_never_loses_to_sign_or_median() {
         for seed in [1u64, 4, 9, 16] {
-            let g = NetgenSpec::new(80, 250).components(1).seed(seed).generate().unwrap();
+            let g = NetgenSpec::new(80, 250)
+                .components(1)
+                .seed(seed)
+                .generate()
+                .unwrap();
             let sweep = SpectralBisector::new()
                 .split_rule(SplitRule::Sweep)
                 .bisect(&g)
@@ -400,7 +440,11 @@ mod tests {
 
     #[test]
     fn sweep_is_proper_and_matches_reported_weight() {
-        let g = NetgenSpec::new(60, 150).components(1).seed(2).generate().unwrap();
+        let g = NetgenSpec::new(60, 150)
+            .components(1)
+            .seed(2)
+            .generate()
+            .unwrap();
         let cut = SpectralBisector::new().bisect(&g).unwrap();
         assert!(cut.partition.is_proper());
         assert!((cut.partition.cut_weight(&g) - cut.cut_weight).abs() < 1e-9);
@@ -408,7 +452,11 @@ mod tests {
 
     #[test]
     fn spectral_cut_beats_random_cuts_on_structured_graphs() {
-        let g = NetgenSpec::new(150, 500).components(1).seed(11).generate().unwrap();
+        let g = NetgenSpec::new(150, 500)
+            .components(1)
+            .seed(11)
+            .generate()
+            .unwrap();
         let spectral = SpectralBisector::new().bisect(&g).unwrap();
         // compare against 20 random balanced cuts
         use rand::{Rng, SeedableRng};

@@ -184,7 +184,10 @@ mod tests {
             }
             let q = indicator_vector(&g, &cut, 1.0, -1.0);
             let r = rayleigh_quotient(&g, &q);
-            assert!(r >= lo - 1e-9 && r <= hi + 1e-9, "R(q) = {r} outside [{lo}, {hi}]");
+            assert!(
+                r >= lo - 1e-9 && r <= hi + 1e-9,
+                "R(q) = {r} outside [{lo}, {hi}]"
+            );
         }
     }
 

@@ -42,8 +42,7 @@ fn study(profile: CouplingProfile, label: &str) -> Result<(), Box<dyn std::error
             bandwidth,
             ..SystemParams::default()
         };
-        let scenario =
-            Scenario::new(params).with_user(UserWorkload::new("u", graph.clone()));
+        let scenario = Scenario::new(params).with_user(UserWorkload::new("u", graph.clone()));
         let report = Offloader::new().solve(&scenario)?;
         let all_local = scenario.evaluate_all_local()?;
         let got = report.evaluation.totals.objective();
@@ -61,8 +60,14 @@ fn study(profile: CouplingProfile, label: &str) -> Result<(), Box<dyn std::error
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    study(CouplingProfile::LooselyCoupled, "loosely-coupled (email-like)")?;
-    study(CouplingProfile::HighlyCoupled, "highly-coupled (vision-like)")?;
+    study(
+        CouplingProfile::LooselyCoupled,
+        "loosely-coupled (email-like)",
+    )?;
+    study(
+        CouplingProfile::HighlyCoupled,
+        "highly-coupled (vision-like)",
+    )?;
     study(CouplingProfile::Mixed, "mixed (game-like)")?;
     println!("\ntakeaway: loose apps offload on any radio; coupled apps need a");
     println!("fast one — and compression keeps their hot pairs together so the");

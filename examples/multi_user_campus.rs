@@ -31,7 +31,9 @@ fn scenario(users: usize, policy: AllocationPolicy) -> Scenario {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let offloader = Offloader::builder().strategy(StrategyKind::Spectral).build();
+    let offloader = Offloader::builder()
+        .strategy(StrategyKind::Spectral)
+        .build();
 
     println!("== crowd growth (EqualShare policy) ==");
     println!(

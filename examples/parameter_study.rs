@@ -42,9 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 server_capacity: cap,
                 ..SystemParams::default()
             };
-            let scenario = Scenario::new(params).with_users((0..users).map(|i| {
-                UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % pool.len()]))
-            }));
+            let scenario = Scenario::new(params)
+                .with_users((0..users).map(|i| {
+                    UserWorkload::new(format!("u{i}"), Arc::clone(&pool[i % pool.len()]))
+                }));
             let report = offloader.solve(&scenario)?;
             let mut remote = 0.0;
             let mut total = 0.0;

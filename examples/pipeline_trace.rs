@@ -1,0 +1,115 @@
+//! Pipeline telemetry: record a full multi-user solve as a trace.
+//!
+//! Attaches an [`mec_obs::Recorder`] to the offloader, solves a small
+//! three-user scenario, and prints what the instrumentation saw: stage
+//! spans with durations, the label-propagation α trajectory, Lanczos
+//! iteration counts, and the greedy evaluated/accepted ratio. Finally
+//! exports the whole trace as JSON (the same format the experiments
+//! binary writes with `--trace-out`).
+//!
+//! Run with: `cargo run --example pipeline_trace`
+
+use copmecs::obs::FieldValue;
+use copmecs::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. a small multi-user crowd ---------------------------------
+    let scenario = Scenario::new(SystemParams::default()).with_users((0..3).map(|i| {
+        let g = NetgenSpec::new(300, 900)
+            .seed(40 + i)
+            .generate()
+            .expect("workloads are generable");
+        UserWorkload::new(format!("u{i}"), g)
+    }));
+
+    // --- 2. solve with a recorder attached ---------------------------
+    let recorder = Arc::new(Recorder::new());
+    let report = Offloader::builder()
+        .strategy(StrategyKind::Spectral)
+        .trace_sink(Arc::clone(&recorder) as Arc<dyn TraceSink>)
+        .build()
+        .solve(&scenario)?;
+    println!(
+        "solved: {} users, E+T = {:.3}\n",
+        report.plan.len(),
+        report.evaluation.totals.objective()
+    );
+
+    // --- 3. stage spans ----------------------------------------------
+    println!("stage spans:");
+    for s in recorder.spans() {
+        let ms = s.duration_ns().unwrap_or(0) as f64 / 1e6;
+        let indent = if s.parent == 0 { "" } else { "  " };
+        println!("  {indent}{:<20} {ms:>8.3} ms", s.name);
+    }
+
+    // --- 4. label propagation: the α trajectory ----------------------
+    println!("\nlabel propagation rounds (first component):");
+    let mut seen = 0;
+    for e in recorder
+        .events()
+        .iter()
+        .filter(|e| e.name == "labelprop.round")
+    {
+        let field = |k: &str| {
+            e.fields
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| match v {
+                    FieldValue::U64(u) => *u as f64,
+                    FieldValue::I64(i) => *i as f64,
+                    FieldValue::F64(x) => *x,
+                    FieldValue::Str(_) => f64::NAN,
+                })
+        };
+        println!(
+            "  round {:>2}: α = {:.3}, {} updates, {} labels",
+            field("round").unwrap_or(0.0),
+            field("alpha").unwrap_or(0.0),
+            field("updates").unwrap_or(0.0),
+            field("labels").unwrap_or(0.0),
+        );
+        seen += 1;
+        if seen >= 6 {
+            println!(
+                "  … ({} rounds total)",
+                recorder.counter_value("labelprop.rounds")
+            );
+            break;
+        }
+    }
+
+    // --- 5. eigensolver and greedy counters --------------------------
+    println!("\ncounters:");
+    for name in [
+        "labelprop.rounds",
+        "compress.components",
+        "lanczos.iterations",
+        "lanczos.solves",
+        "spectral.bisections",
+        "greedy.evaluated",
+        "greedy.accepted",
+    ] {
+        println!("  {name:<22} {}", recorder.counter_value(name));
+    }
+    let evaluated = recorder.counter_value("greedy.evaluated");
+    let accepted = recorder.counter_value("greedy.accepted");
+    if evaluated > 0 {
+        println!(
+            "  greedy acceptance      {:.1}%",
+            100.0 * accepted as f64 / evaluated as f64
+        );
+    }
+
+    // --- 6. JSON export (what --trace-out writes) --------------------
+    let json = recorder.to_json_string();
+    println!(
+        "\ntrace JSON: {} bytes, {} spans, {} events retained, {} dropped",
+        json.len(),
+        recorder.spans().len(),
+        recorder.events().len(),
+        recorder.dropped_events()
+    );
+    Ok(())
+}

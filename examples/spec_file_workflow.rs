@@ -33,13 +33,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // two deployments: a congested cell vs a fast one
-    for (label, bandwidth) in [("congested cell (b = 8)", 8.0), ("fast cell (b = 60)", 60.0)] {
+    for (label, bandwidth) in [
+        ("congested cell (b = 8)", 8.0),
+        ("fast cell (b = 60)", 60.0),
+    ] {
         let params = SystemParams {
             bandwidth,
             ..SystemParams::default()
         };
-        let scenario = Scenario::new(params)
-            .with_user(UserWorkload::new("driver", extracted.graph.clone()));
+        let scenario =
+            Scenario::new(params).with_user(UserWorkload::new("driver", extracted.graph.clone()));
         let report = Offloader::new().solve(&scenario)?;
         println!("\n== {label} ==");
         for (fid, f) in app.functions() {

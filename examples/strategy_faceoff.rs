@@ -12,9 +12,12 @@ use copmecs::baselines::stoer_wagner;
 use copmecs::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = NetgenSpec::new(600, 2600).components(5).seed(99).generate()?;
-    let scenario = Scenario::new(SystemParams::default())
-        .with_user(UserWorkload::new("phone", graph.clone()));
+    let graph = NetgenSpec::new(600, 2600)
+        .components(5)
+        .seed(99)
+        .generate()?;
+    let scenario =
+        Scenario::new(SystemParams::default()).with_user(UserWorkload::new("phone", graph.clone()));
 
     println!(
         "workload: {} functions, {} edges, 5 components\n",

@@ -3,11 +3,16 @@
 writes into results/.
 
 Usage:
-    cargo run --release -p mec-bench --bin experiments -- all
-    python3 scripts/plot_figures.py [results_dir] [output_dir]
+    cargo run --release -p mec-bench --bin experiments -- all --trace-out results/trace.json
+    python3 scripts/plot_figures.py [results_dir] [output_dir] [--trace FILE]
 
 Requires matplotlib. Produces fig3.png ... fig9.png mirroring the
 paper's bar charts (Figs. 3-8, normalised) and runtime curves (Fig. 9).
+When a telemetry trace (the `--trace-out` JSON) is found — either via
+--trace or as <results_dir>/trace.json — also renders trace_stages.png
+(time per pipeline stage from the recorded spans) and prints the
+pipeline counters (label-propagation rounds, Lanczos iterations,
+greedy evaluated/accepted, ...).
 """
 
 import json
@@ -22,8 +27,18 @@ try:
 except ImportError:  # pragma: no cover
     sys.exit("matplotlib is required: pip install matplotlib")
 
-RESULTS = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
-OUT = Path(sys.argv[2] if len(sys.argv) > 2 else "results")
+ARGS = sys.argv[1:]
+TRACE = None
+if "--trace" in ARGS:
+    i = ARGS.index("--trace")
+    if i + 1 >= len(ARGS):
+        sys.exit("--trace needs a path")
+    TRACE = Path(ARGS[i + 1])
+    del ARGS[i : i + 2]
+RESULTS = Path(ARGS[0] if len(ARGS) > 0 else "results")
+OUT = Path(ARGS[1] if len(ARGS) > 1 else "results")
+if TRACE is None and (RESULTS / "trace.json").exists():
+    TRACE = RESULTS / "trace.json"
 
 ENERGY_FIGS = {
     "fig3": ("local_energy", "size", "original graph size", "local (normalised)"),
@@ -89,6 +104,35 @@ def runtime_curves(points, path):
     print(f"wrote {path}")
 
 
+def trace_summary(trace, path):
+    """Stage-duration chart + counter dump from a telemetry trace
+    (the JSON `mec_obs::Recorder` exports, schema version 1)."""
+    if trace.get("version") != 1:
+        print(f"skipping trace: unknown schema version {trace.get('version')!r}")
+        return
+    totals = {}
+    for span in trace.get("spans", []):
+        if span.get("duration_ns") is not None:
+            totals[span["name"]] = totals.get(span["name"], 0) + span["duration_ns"]
+    if totals:
+        names = sorted(totals, key=totals.get)
+        fig, ax = plt.subplots(figsize=(7, 0.5 + 0.4 * len(names)))
+        ax.barh(range(len(names)), [totals[n] / 1e6 for n in names])
+        ax.set_yticks(range(len(names)), names, fontsize=8)
+        ax.set_xlabel("total time (ms)")
+        fig.tight_layout()
+        fig.savefig(path, dpi=150)
+        plt.close(fig)
+        print(f"wrote {path}")
+    counters = trace.get("counters", {})
+    if counters:
+        print("trace counters:")
+        for name in sorted(counters):
+            print(f"  {name:<24} {counters[name]}")
+    if trace.get("dropped_events"):
+        print(f"  (ring buffer dropped {trace['dropped_events']} events)")
+
+
 def main():
     for fig, (metric, xkey, xlabel, ylabel) in ENERGY_FIGS.items():
         src = RESULTS / f"{fig}.json"
@@ -102,6 +146,8 @@ def main():
         runtime_curves(json.loads(src.read_text()), OUT / "fig9.png")
     else:
         print(f"skipping fig9: {src} not found")
+    if TRACE is not None and TRACE.exists():
+        trace_summary(json.loads(TRACE.read_text()), OUT / "trace_stages.png")
 
 
 if __name__ == "__main__":

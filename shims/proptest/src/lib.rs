@@ -1,0 +1,463 @@
+//! Offline shim for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace's property
+//! tests use, with two deliberate simplifications:
+//!
+//! - **deterministic seeding** — each test derives its RNG seed from
+//!   the test name, so failures reproduce exactly on every run;
+//! - **no shrinking** — a failing case reports the assertion directly
+//!   rather than a minimised input.
+//!
+//! Supported surface: `proptest! { fn name(x in strategy) { .. } }`
+//! with an optional `#![proptest_config(..)]` header, range strategies
+//! over primitives, strategy tuples, `Just`, `any::<bool>()`,
+//! `collection::vec`, `prop_map`/`prop_flat_map`, `prop_oneof!`, and
+//! the `prop_assert*` macros.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The deterministic RNG driving generation.
+
+    /// A splitmix64-based generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds a generator whose stream is a pure function of
+        /// `name`.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and
+        /// draws from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from at least one arm.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for use as a [`Union`] arm (used by
+    /// [`prop_oneof!`](crate::prop_oneof) so arm types unify).
+    pub fn boxed_arm<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    }
+}
+
+pub mod arbitrary {
+    //! Canonical strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy, reachable through
+    /// [`any`](crate::arbitrary::any).
+    pub trait Arbitrary {
+        /// That canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for `bool`: a fair coin.
+    #[derive(Debug, Clone, Default)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Half-open element-count range for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing vectors of `element`-generated values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_arm($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Each case runs in a Result-returning closure so test
+                // bodies can `return Ok(())` to accept a case early,
+                // matching upstream proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let case: ::core::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(msg) = case {
+                    panic!("property case failed: {msg}");
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn flat_map_and_vec_compose(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u32..100, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn oneof_picks_only_listed_values(c in prop_oneof![Just('a'), Just('b')]) {
+            prop_assert!(c == 'a' || c == 'b');
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`spectral`] | `mec-spectral` | §III-B: Fiedler-vector minimum cuts |
 //! | [`baselines`] | `mec-baselines` | Edmonds–Karp, Stoer–Wagner, Kernighan–Lin |
 //! | [`model`] | `mec-model` | §II: energy/time cost model, formulas (1)–(6) |
+//! | [`obs`] | `mec-obs` | Telemetry: trace sinks, spans, counters, JSON export |
 //! | [`core`] | `copmecs-core` | Algorithm 2: the end-to-end offloader |
 //!
 //! # Quickstart
@@ -61,19 +62,19 @@ pub use mec_labelprop as labelprop;
 pub use mec_linalg as linalg;
 pub use mec_model as model;
 pub use mec_netgen as netgen;
+pub use mec_obs as obs;
 pub use mec_spectral as spectral;
 
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use copmecs_core::{
-        CutStrategy, GreedyMode, Offloader, OffloadReport, OffloadSession, StrategyKind,
+        CutStrategy, GreedyMode, OffloadReport, OffloadSession, Offloader, StrategyKind,
     };
     pub use mec_app::{ApplicationBuilder, FunctionKind, SyntheticAppSpec};
     pub use mec_graph::{Bipartition, Graph, GraphBuilder, NodeId, Side};
     pub use mec_labelprop::{CompressionConfig, Compressor, ThresholdRule};
-    pub use mec_model::{
-        AllocationPolicy, Scenario, SystemParams, UserWorkload,
-    };
+    pub use mec_model::{AllocationPolicy, Scenario, SystemParams, UserWorkload};
     pub use mec_netgen::NetgenSpec;
+    pub use mec_obs::{NullSink, Recorder, TraceSink};
     pub use mec_spectral::{SpectralBisector, SplitRule};
 }

@@ -6,14 +6,7 @@ use std::sync::Arc;
 
 fn crowd(users: usize, policy: AllocationPolicy, server_capacity: f64) -> Scenario {
     let pool: Vec<Arc<Graph>> = (0..3)
-        .map(|i| {
-            Arc::new(
-                NetgenSpec::new(120, 420)
-                    .seed(100 + i)
-                    .generate()
-                    .unwrap(),
-            )
-        })
+        .map(|i| Arc::new(NetgenSpec::new(120, 420).seed(100 + i).generate().unwrap()))
         .collect();
     let params = SystemParams {
         allocation: policy,
@@ -60,10 +53,12 @@ fn mid_sized_crowd_reaches_partial_equilibrium() {
     let contended = crowd(24, AllocationPolicy::EqualShare, 120.0);
     let relaxed = crowd(24, AllocationPolicy::EqualShare, 50_000.0);
     let offloader = Offloader::new();
-    let frac_contended =
-        offloaded_work_fraction(&offloader.solve(&contended).unwrap(), &contended);
+    let frac_contended = offloaded_work_fraction(&offloader.solve(&contended).unwrap(), &contended);
     let frac_relaxed = offloaded_work_fraction(&offloader.solve(&relaxed).unwrap(), &relaxed);
-    assert!(frac_contended > 0.0, "contended crowd should still offload a little");
+    assert!(
+        frac_contended > 0.0,
+        "contended crowd should still offload a little"
+    );
     assert!(
         frac_contended < frac_relaxed - 0.05,
         "contention must visibly reduce offloading: {frac_contended} vs {frac_relaxed}"
@@ -84,9 +79,7 @@ fn all_policies_yield_valid_plans_with_consistent_energy() {
         let t = &report.evaluation.totals;
         assert!((t.energy - (t.local_energy + t.tx_energy)).abs() < 1e-9);
         // time components add up
-        assert!(
-            (t.time - (t.local_time + t.remote_time + t.tx_time)).abs() < 1e-9
-        );
+        assert!((t.time - (t.local_time + t.remote_time + t.tx_time)).abs() < 1e-9);
     }
 }
 

@@ -22,7 +22,11 @@ fn every_strategy_produces_a_valid_priced_plan() {
         StrategyKind::MaxFlow,
         StrategyKind::KernighanLin,
     ] {
-        let report = Offloader::builder().strategy(kind).build().solve(&s).unwrap();
+        let report = Offloader::builder()
+            .strategy(kind)
+            .build()
+            .solve(&s)
+            .unwrap();
         assert_eq!(report.plan.len(), 3);
         assert_eq!(s.validate_plan(&report.plan), Ok(()));
         // the report's evaluation equals a fresh evaluation of the plan
@@ -107,7 +111,11 @@ fn netgen_workloads_flow_through_the_whole_stack() {
 #[test]
 fn greedy_modes_agree_closely_end_to_end() {
     let s = scenario_from_apps(17, 2);
-    let lazy = Offloader::builder().greedy_mode(GreedyMode::Lazy).build().solve(&s).unwrap();
+    let lazy = Offloader::builder()
+        .greedy_mode(GreedyMode::Lazy)
+        .build()
+        .solve(&s)
+        .unwrap();
     let exhaustive = Offloader::builder()
         .greedy_mode(GreedyMode::Exhaustive)
         .build()
@@ -115,7 +123,10 @@ fn greedy_modes_agree_closely_end_to_end() {
         .unwrap();
     let a = lazy.evaluation.totals.objective();
     let b = exhaustive.evaluation.totals.objective();
-    assert!((a - b).abs() / a.max(1.0) < 0.05, "lazy {a} vs exhaustive {b}");
+    assert!(
+        (a - b).abs() / a.max(1.0) < 0.05,
+        "lazy {a} vs exhaustive {b}"
+    );
 }
 
 #[test]

@@ -9,7 +9,10 @@ use std::time::Instant;
 #[test]
 #[ignore = "scale test: ~20 s, run explicitly"]
 fn paper_scale_single_user_5000_nodes() {
-    let g = NetgenSpec::paper_network(5000, 40243).seed(1).generate().unwrap();
+    let g = NetgenSpec::paper_network(5000, 40243)
+        .seed(1)
+        .generate()
+        .unwrap();
     let scenario = Scenario::new(SystemParams::default()).with_user(UserWorkload::new("u", g));
     let t0 = Instant::now();
     let report = Offloader::new().solve(&scenario).unwrap();
@@ -73,7 +76,9 @@ fn session_churn_at_scale() {
         })
         .collect();
     for i in 0..500usize {
-        session.join(format!("u{i}"), Arc::clone(&pool[i % 4])).unwrap();
+        session
+            .join(format!("u{i}"), Arc::clone(&pool[i % 4]))
+            .unwrap();
     }
     // replans after warm-up must be fast: all per-user work is cached
     let t0 = Instant::now();

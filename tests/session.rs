@@ -38,7 +38,11 @@ fn session_replans_match_one_shot_for_every_strategy() {
         let scenario = Scenario::new(SystemParams::default())
             .with_user(UserWorkload::new("a", g1))
             .with_user(UserWorkload::new("b", g2));
-        let one_shot = Offloader::builder().strategy(kind).build().solve(&scenario).unwrap();
+        let one_shot = Offloader::builder()
+            .strategy(kind)
+            .build()
+            .solve(&scenario)
+            .unwrap();
         assert_eq!(via_session.plan, one_shot.plan, "{}", one_shot.strategy);
     }
 }
@@ -52,7 +56,9 @@ fn churn_storm_keeps_plans_valid() {
     // interleave joins and leaves, re-planning at every step
     for wave in 0..3u64 {
         for i in 0..6u64 {
-            session.join(format!("u{i}"), app_graph(wave * 10 + i)).unwrap();
+            session
+                .join(format!("u{i}"), app_graph(wave * 10 + i))
+                .unwrap();
             let report = session.replan().unwrap();
             assert_eq!(report.plan.len(), session.user_count());
             assert!(report.evaluation.totals.objective().is_finite());

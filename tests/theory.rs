@@ -11,7 +11,11 @@ use mec_graph::{Bipartition, Side};
 #[test]
 fn theorem2_identity_on_generated_workloads() {
     for seed in [1u64, 2, 3] {
-        let g = NetgenSpec::new(120, 420).components(1).seed(seed).generate().unwrap();
+        let g = NetgenSpec::new(120, 420)
+            .components(1)
+            .seed(seed)
+            .generate()
+            .unwrap();
         let cut = SpectralBisector::new().bisect(&g).unwrap();
         let direct = cut.partition.cut_weight(&g);
         // paper levels q_i = ±1 …
@@ -27,7 +31,11 @@ fn theorem2_identity_on_generated_workloads() {
 fn fiedler_value_lower_bounds_balanced_cut_quality() {
     // λ₂ · n/4 ≤ any bisection cut weight (ratio-cut bound):
     // CUT(A,B) ≥ λ₂ · |A|·|B| / n.
-    let g = NetgenSpec::new(80, 300).components(1).seed(7).generate().unwrap();
+    let g = NetgenSpec::new(80, 300)
+        .components(1)
+        .seed(7)
+        .generate()
+        .unwrap();
     let spectral = SpectralBisector::new().bisect(&g).unwrap();
     let n = g.node_count() as f64;
     for p in [
@@ -50,7 +58,11 @@ fn fiedler_value_lower_bounds_balanced_cut_quality() {
 #[test]
 fn no_heuristic_beats_stoer_wagner() {
     for seed in [11u64, 12, 13, 14] {
-        let g = NetgenSpec::new(60, 200).components(1).seed(seed).generate().unwrap();
+        let g = NetgenSpec::new(60, 200)
+            .components(1)
+            .seed(seed)
+            .generate()
+            .unwrap();
         let exact = stoer_wagner(&g).unwrap().cut_weight;
         let spectral = SpectralBisector::new().bisect(&g).unwrap().cut_weight;
         let kl = KernighanLin::new().bisect(&g).unwrap().cut_weight(&g);
@@ -66,7 +78,10 @@ fn no_heuristic_beats_stoer_wagner() {
 
 #[test]
 fn compression_preserves_weight_through_the_quotient() {
-    let g = NetgenSpec::new(250, 1214).seed(20190707).generate().unwrap();
+    let g = NetgenSpec::new(250, 1214)
+        .seed(20190707)
+        .generate()
+        .unwrap();
     let outcome = Compressor::new(CompressionConfig::default()).compress(&g);
     let pinned_weight: f64 = outcome.pinned.iter().map(|&n| g.node_weight(n)).sum();
     let quotient_weight: f64 = outcome
