@@ -58,6 +58,10 @@ struct SplitRuleStrategy {
 }
 
 impl CutStrategy for SplitRuleStrategy {
+    fn boxed_clone(&self) -> Box<dyn CutStrategy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "spectral-ablation"
     }

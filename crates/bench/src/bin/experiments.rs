@@ -17,7 +17,7 @@ use mec_bench::ablation;
 use mec_bench::energy::{self, EnergyPoint};
 use mec_bench::multiuser::{self, MultiUserConfig, MultiUserPoint};
 use mec_bench::report::{normalize, render_table, write_json};
-use mec_bench::runtime::{self, RuntimePoint};
+use mec_bench::runtime::{self, FrontendSpeedup, RuntimePoint};
 use mec_bench::{table1, DEFAULT_SEED, PAPER_SIZES, PAPER_USER_SIZES};
 use mec_obs::{Recorder, TraceSink};
 use std::sync::Arc;
@@ -29,6 +29,7 @@ struct Options {
     out: String,
     extra: bool,
     trace_out: Option<String>,
+    workers: usize,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +41,7 @@ fn parse_args() -> Options {
         out: "results".to_string(),
         extra: false,
         trace_out: None,
+        workers: 4,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -60,6 +62,13 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| die("--trace-out needs a path")),
                 );
             }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w| w > 0)
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
             cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                 opts.command = cmd.to_string();
             }
@@ -76,7 +85,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|check|all] \
-         [--quick] [--extra] [--seed N] [--out DIR] [--trace-out FILE]"
+         [--quick] [--extra] [--seed N] [--out DIR] [--trace-out FILE] [--workers N]"
     );
     std::process::exit(2);
 }
@@ -430,6 +439,46 @@ fn run_fig9(opts: &Options, sink: &Arc<dyn TraceSink>) {
         .collect();
     println!("{}", render_table(&headers, &rows));
     write_json(format!("{}/fig9.json", opts.out), &points);
+
+    println!("== multi-user front-end speedup (cluster vs serial) ==\n");
+    let (users, nodes) = if opts.quick { (8, 300) } else { (16, 800) };
+    let mut speedups: Vec<FrontendSpeedup> = Vec::new();
+    for workers in [1, opts.workers] {
+        if speedups.iter().any(|s| s.workers == workers) {
+            continue;
+        }
+        speedups.push(runtime::frontend_speedup(users, nodes, opts.seed, workers));
+    }
+    let speedup_rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|s| {
+            vec![
+                s.users.to_string(),
+                s.nodes.to_string(),
+                s.workers.to_string(),
+                format!("{:.3}s", s.serial_seconds),
+                format!("{:.3}s", s.cluster_seconds),
+                format!("{:.2}x", s.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["users", "nodes", "workers", "serial", "cluster", "speedup"],
+            &speedup_rows,
+        )
+    );
+    if let Some(s) = speedups.first() {
+        if s.host_parallelism < 2 {
+            println!(
+                "note: this host reports {} available core(s); wall-clock speedup \
+                 is capped by hardware, not by the stage distribution",
+                s.host_parallelism
+            );
+        }
+    }
+    write_json(format!("{}/fig9_speedup.json", opts.out), &speedups);
 }
 
 fn main() {

@@ -1,0 +1,89 @@
+//! The per-user pipeline front-end: compression (Algorithm 1) plus the
+//! per-component minimum cuts — the unit of work the cluster solve
+//! path distributes, one stage task per user.
+//!
+//! The paper's scalability argument (§IV) runs one process per
+//! sub-graph; here the same decomposition is expressed as an engine
+//! *stage*: every user's front-end is an independent task, results are
+//! reassembled in user order, and the greedy stage then sees exactly
+//! what the serial loop would have produced.
+
+use crate::strategy::CutStrategy;
+use crate::PipelineError;
+use mec_engine::{Cluster, StageError};
+use mec_graph::{Bipartition, Graph};
+use mec_labelprop::{CompressionOutcome, Compressor};
+use mec_obs::{span, TraceSink};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One user's prepared front-end: everything
+/// [`PartSystem::add_user`](crate::PartSystem::add_user) needs, plus
+/// the wall-clock time spent producing it.
+#[derive(Debug, Clone)]
+pub(crate) struct FrontEnd {
+    /// The compression outcome (components, stats, pinned nodes).
+    pub outcome: CompressionOutcome,
+    /// One cut per compressed component, in component order.
+    pub cuts: Vec<Bipartition>,
+    /// Time spent compressing this user's graph.
+    pub compression: Duration,
+    /// Time spent cutting this user's compressed components.
+    pub cutting: Duration,
+}
+
+/// Runs compression and per-component cuts for one user's graph.
+pub(crate) fn prepare_user(
+    compressor: &Compressor,
+    strategy: &dyn CutStrategy,
+    sink: &dyn TraceSink,
+    graph: &Graph,
+) -> Result<FrontEnd, PipelineError> {
+    let s = span(sink, "stage.compression");
+    let outcome = compressor.compress_traced(graph, sink);
+    let compression = s.finish();
+
+    let s = span(sink, "stage.cutting");
+    let mut cuts = Vec::with_capacity(outcome.components.len());
+    for comp in &outcome.components {
+        cuts.push(strategy.cut(comp.quotient.graph())?);
+    }
+    let cutting = s.finish();
+
+    Ok(FrontEnd {
+        outcome,
+        cuts,
+        compression,
+        cutting,
+    })
+}
+
+/// Fans [`prepare_user`] out over `cluster` as one stage task per
+/// graph, returning the front-ends in input order.
+///
+/// Each task clones its own strategy instance
+/// ([`CutStrategy::boxed_clone`]), so stateful backends never share
+/// mutable state across workers; a task's `PipelineError` is
+/// propagated (lowest task index first), and a panicking strategy
+/// surfaces as [`PipelineError::Engine`] rather than aborting the
+/// process.
+pub(crate) fn prepare_users_on(
+    cluster: &Cluster,
+    compressor: &Compressor,
+    strategy: &dyn CutStrategy,
+    sink: &Arc<dyn TraceSink>,
+    graphs: Vec<Arc<Graph>>,
+) -> Result<Vec<FrontEnd>, PipelineError> {
+    let compressor = compressor.clone();
+    let master = strategy.boxed_clone();
+    let sink = Arc::clone(sink);
+    cluster
+        .try_run_stage(graphs, move |_, graph| {
+            let strategy = master.boxed_clone();
+            prepare_user(&compressor, strategy.as_ref(), sink.as_ref(), &graph)
+        })
+        .map_err(|e| match e {
+            StageError::Task { error, .. } => error,
+            StageError::Engine(e) => PipelineError::Engine(e),
+        })
+}

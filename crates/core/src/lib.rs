@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod frontend;
 mod greedy;
 mod offloader;
 mod parts;
@@ -71,6 +72,9 @@ pub enum PipelineError {
     /// The final plan failed model validation (internal invariant —
     /// indicates a bug if it ever surfaces).
     Model(mec_model::ModelError),
+    /// The engine cluster failed while running a distributed stage
+    /// (a task panicked on a worker, or the pool shut down).
+    Engine(mec_engine::EngineError),
 }
 
 impl fmt::Display for PipelineError {
@@ -78,6 +82,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Cut(e) => write!(f, "cut stage failed: {e}"),
             PipelineError::Model(e) => write!(f, "plan evaluation failed: {e}"),
+            PipelineError::Engine(e) => write!(f, "engine stage failed: {e}"),
         }
     }
 }
@@ -87,7 +92,14 @@ impl Error for PipelineError {
         match self {
             PipelineError::Cut(e) => Some(e),
             PipelineError::Model(e) => Some(e),
+            PipelineError::Engine(e) => Some(e),
         }
+    }
+}
+
+impl From<mec_engine::EngineError> for PipelineError {
+    fn from(e: mec_engine::EngineError) -> Self {
+        PipelineError::Engine(e)
     }
 }
 

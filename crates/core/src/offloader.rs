@@ -1,9 +1,11 @@
 //! The end-to-end pipeline driver.
 
+use crate::frontend::{prepare_user, prepare_users_on, FrontEnd};
 use crate::greedy::{run_greedy_traced, GreedyMode, GreedyOutcome};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
 use crate::PipelineError;
+use mec_engine::Cluster;
 use mec_graph::Bipartition;
 use mec_labelprop::{CompressionConfig, CompressionStats, Compressor};
 use mec_model::{Evaluation, Scenario};
@@ -120,6 +122,7 @@ pub struct OffloaderBuilder {
     strategy: StrategyKind,
     greedy_mode: GreedyMode,
     sink: Option<Arc<dyn TraceSink>>,
+    cluster: Option<Arc<Cluster>>,
 }
 
 impl OffloaderBuilder {
@@ -149,6 +152,15 @@ impl OffloaderBuilder {
         self
     }
 
+    /// Distributes the per-user front-end (compression + cuts) over
+    /// `cluster`: [`solve`](Offloader::solve) then runs one stage task
+    /// per user instead of a serial loop. Plans are bit-identical to
+    /// the serial path at every worker count.
+    pub fn cluster(mut self, cluster: Arc<Cluster>) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
     /// Builds the offloader.
     pub fn build(self) -> Offloader {
         let sink = self.sink.unwrap_or_else(mec_obs::null_sink);
@@ -157,6 +169,7 @@ impl OffloaderBuilder {
             strategy: self.strategy.build_with_sink(Arc::clone(&sink)),
             greedy_mode: self.greedy_mode,
             sink,
+            cluster: self.cluster,
         }
     }
 
@@ -168,6 +181,7 @@ impl OffloaderBuilder {
             strategy,
             greedy_mode: self.greedy_mode,
             sink: self.sink.unwrap_or_else(mec_obs::null_sink),
+            cluster: self.cluster,
         }
     }
 }
@@ -179,6 +193,7 @@ pub struct Offloader {
     strategy: Box<dyn CutStrategy>,
     greedy_mode: GreedyMode,
     sink: Arc<dyn TraceSink>,
+    cluster: Option<Arc<Cluster>>,
 }
 
 impl Offloader {
@@ -232,41 +247,94 @@ impl Offloader {
     /// Solves the offloading problem for every user of `scenario`
     /// jointly (the greedy stage sees the shared server).
     ///
+    /// When a cluster was configured via
+    /// [`OffloaderBuilder::cluster`], the per-user front-end runs as
+    /// one stage task per user; otherwise users are walked serially.
+    /// Both paths produce bit-identical plans.
+    ///
     /// # Errors
     ///
     /// [`PipelineError::Cut`] if a compressed component cannot be
-    /// bipartitioned; [`PipelineError::Model`] only on internal
-    /// invariant violations.
+    /// bipartitioned; [`PipelineError::Engine`] if a distributed stage
+    /// failed; [`PipelineError::Model`] only on internal invariant
+    /// violations.
     pub fn solve(&self, scenario: &Scenario) -> Result<OffloadReport, PipelineError> {
+        match &self.cluster {
+            Some(cluster) => self.solve_on(&Arc::clone(cluster), scenario),
+            None => self.solve_serial(scenario),
+        }
+    }
+
+    /// [`solve`](Self::solve), with the per-user front-end —
+    /// compression plus the per-component cuts — fanned out over
+    /// `cluster` as one stage task per user. Front-ends are
+    /// reassembled in user order before the (inherently joint) greedy
+    /// stage runs, so the plan is bit-identical to the serial path at
+    /// every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](Self::solve), plus
+    /// [`PipelineError::Engine`] when a stage task panics or the pool
+    /// is gone.
+    pub fn solve_on(
+        &self,
+        cluster: &Arc<Cluster>,
+        scenario: &Scenario,
+    ) -> Result<OffloadReport, PipelineError> {
         let sink = self.sink.as_ref();
         let solve_span = span(sink, "pipeline.solve");
-        let mut timings = StageTimings::default();
-        let mut parts = PartSystem::new();
-        let mut compression_stats = Vec::with_capacity(scenario.user_count());
+        let graphs: Vec<_> = scenario.users().iter().map(|u| u.graph_arc()).collect();
+        let prepared = prepare_users_on(
+            cluster,
+            &self.compressor,
+            self.strategy.as_ref(),
+            &self.sink,
+            graphs,
+        )?;
+        let report = self.assemble(scenario, prepared);
+        drop(solve_span);
+        report
+    }
 
+    fn solve_serial(&self, scenario: &Scenario) -> Result<OffloadReport, PipelineError> {
+        let sink = self.sink.as_ref();
+        let solve_span = span(sink, "pipeline.solve");
         // StageTimings is a view over the stage spans: each SpanGuard
         // measures its own elapsed time, so the numbers are identical
         // whether the sink records spans or discards them.
-        for user in scenario.users() {
-            let s = span(sink, "stage.compression");
-            let outcome = self.compressor.compress_traced(user.graph(), sink);
-            timings.compression += s.finish();
+        let prepared = scenario
+            .users()
+            .iter()
+            .map(|user| prepare_user(&self.compressor, self.strategy.as_ref(), sink, user.graph()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = self.assemble(scenario, prepared);
+        drop(solve_span);
+        report
+    }
 
-            let s = span(sink, "stage.cutting");
-            let mut cuts = Vec::with_capacity(outcome.components.len());
-            for comp in &outcome.components {
-                cuts.push(self.strategy.cut(comp.quotient.graph())?);
-            }
-            timings.cutting += s.finish();
-
-            compression_stats.push(outcome.stats);
-            parts.add_user(user.graph(), &outcome, &cuts);
+    /// The joint back half of the pipeline: registers every prepared
+    /// front-end in user order and runs the greedy stage over the
+    /// shared server.
+    fn assemble(
+        &self,
+        scenario: &Scenario,
+        prepared: Vec<FrontEnd>,
+    ) -> Result<OffloadReport, PipelineError> {
+        let sink = self.sink.as_ref();
+        let mut timings = StageTimings::default();
+        let mut parts = PartSystem::new();
+        let mut compression_stats = Vec::with_capacity(scenario.user_count());
+        for (user, fe) in scenario.users().iter().zip(&prepared) {
+            timings.compression += fe.compression;
+            timings.cutting += fe.cutting;
+            compression_stats.push(fe.outcome.stats);
+            parts.add_user(user.graph(), &fe.outcome, &fe.cuts);
         }
 
         let s = span(sink, "stage.greedy");
         let greedy = run_greedy_traced(&mut parts, scenario.params(), self.greedy_mode, sink);
         timings.greedy += s.finish();
-        drop(solve_span);
 
         let plan = parts.plan();
         let evaluation = scenario.evaluate(&plan)?;
@@ -437,6 +505,55 @@ mod tests {
             )
             .unwrap();
         assert_eq!(report.plan, manual.plan);
+    }
+
+    #[test]
+    fn cluster_solve_matches_serial_bit_for_bit() {
+        let s = scenario(4, 21);
+        let serial = Offloader::new().solve(&s).unwrap();
+        for workers in [1, 2, 8] {
+            let cluster = Arc::new(Cluster::new(workers).unwrap());
+            let parallel = Offloader::new().solve_on(&cluster, &s).unwrap();
+            assert_eq!(serial.plan, parallel.plan, "workers={workers}");
+            assert_eq!(
+                serial.evaluation.totals.objective().to_bits(),
+                parallel.evaluation.totals.objective().to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(serial.compression, parallel.compression);
+        }
+    }
+
+    #[test]
+    fn builder_cluster_knob_routes_solve_through_the_stage_path() {
+        let s = scenario(3, 13);
+        let cluster = Arc::new(Cluster::new(2).unwrap());
+        let clustered = Offloader::builder()
+            .cluster(Arc::clone(&cluster))
+            .build()
+            .solve(&s)
+            .unwrap();
+        let serial = Offloader::new().solve(&s).unwrap();
+        assert_eq!(clustered.plan, serial.plan);
+        // the stage path actually ran on the cluster
+        assert!(cluster.metrics().tasks >= 3);
+    }
+
+    #[test]
+    fn cluster_solve_records_front_end_timings() {
+        let s = scenario(2, 17);
+        let cluster = Arc::new(Cluster::new(2).unwrap());
+        let report = Offloader::new().solve_on(&cluster, &s).unwrap();
+        assert!(report.timings.compression > Duration::ZERO);
+        assert!(report.timings.cutting > Duration::ZERO);
+    }
+
+    #[test]
+    fn cluster_solve_empty_scenario_is_fine() {
+        let cluster = Arc::new(Cluster::new(2).unwrap());
+        let s = Scenario::new(SystemParams::default());
+        let report = Offloader::new().solve_on(&cluster, &s).unwrap();
+        assert!(report.plan.is_empty());
     }
 
     #[test]

@@ -9,24 +9,26 @@
 //! bookkeeping and re-runs the greedy placement against the current
 //! crowd.
 
+use crate::frontend::{prepare_user, prepare_users_on, FrontEnd};
 use crate::greedy::{run_greedy_traced, GreedyMode};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
 use crate::{OffloadReport, PipelineError, StageTimings};
-use mec_graph::{Bipartition, Graph};
-use mec_labelprop::{CompressionConfig, CompressionOutcome, Compressor};
+use mec_engine::Cluster;
+use mec_graph::Graph;
+use mec_labelprop::{CompressionConfig, Compressor};
 use mec_model::{Scenario, SystemParams, UserWorkload};
 use mec_obs::{span, FieldValue, TraceSink};
 use std::sync::Arc;
 
-/// One user's cached pipeline front-end: the compression outcome and
-/// per-component cuts, computed at join time.
+/// One user's cached pipeline front-end: the compression outcome,
+/// per-component cuts, and the wall-clock both took, computed at join
+/// time.
 #[derive(Debug, Clone)]
 struct PreparedUser {
     name: String,
     graph: Arc<Graph>,
-    outcome: CompressionOutcome,
-    cuts: Vec<Bipartition>,
+    frontend: FrontEnd,
 }
 
 /// A long-lived multi-user offloading session.
@@ -58,6 +60,7 @@ pub struct OffloadSession {
     greedy_mode: GreedyMode,
     users: Vec<PreparedUser>,
     sink: Arc<dyn TraceSink>,
+    cluster: Option<Arc<Cluster>>,
 }
 
 impl OffloadSession {
@@ -86,7 +89,18 @@ impl OffloadSession {
             greedy_mode,
             users: Vec::new(),
             sink: mec_obs::null_sink(),
+            cluster: None,
         }
+    }
+
+    /// Distributes batch admissions
+    /// ([`join_many`](Self::join_many)) over `cluster`: the joining
+    /// users' front-ends run as one stage task per user. Single
+    /// [`join`](Self::join)s stay serial (there is nothing to fan
+    /// out), and results are identical either way.
+    pub fn with_cluster(mut self, cluster: Arc<Cluster>) -> Self {
+        self.cluster = Some(cluster);
+        self
     }
 
     /// Routes session telemetry to `sink`: `session.join` /
@@ -138,21 +152,17 @@ impl OffloadSession {
         let name = name.into();
         let sink = Arc::clone(&self.sink);
         let join_span = span(sink.as_ref(), "session.join");
-        let outcome = self.compressor.compress_traced(&graph, sink.as_ref());
-        let mut cuts = Vec::with_capacity(outcome.components.len());
-        for comp in &outcome.components {
-            cuts.push(self.strategy.cut(comp.quotient.graph())?);
-        }
-        let prepared = PreparedUser {
-            name: name.clone(),
+        let frontend = prepare_user(
+            &self.compressor,
+            self.strategy.as_ref(),
+            sink.as_ref(),
+            &graph,
+        )?;
+        self.insert(PreparedUser {
+            name,
             graph,
-            outcome,
-            cuts,
-        };
-        match self.users.iter_mut().find(|u| u.name == name) {
-            Some(slot) => *slot = prepared,
-            None => self.users.push(prepared),
-        }
+            frontend,
+        });
         join_span.finish();
         sink.counter_add("session.joins", 1);
         if sink.enabled() {
@@ -162,6 +172,80 @@ impl OffloadSession {
             );
         }
         Ok(())
+    }
+
+    /// Admits a batch of users at once. With a cluster configured
+    /// ([`with_cluster`](Self::with_cluster)) every joining user's
+    /// front-end — compression plus per-component cuts — runs as its
+    /// own stage task; without one the batch is prepared serially.
+    /// Either way the result is identical to calling
+    /// [`join`](Self::join) once per user in batch order: later
+    /// duplicates (in the batch or already present) replace earlier
+    /// entries.
+    ///
+    /// On error nothing is admitted: the batch joins all-or-nothing,
+    /// and the reported error is the first failing user's (in batch
+    /// order), matching what serial joins would have hit first.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Cut`] if a compressed component cannot be
+    /// bipartitioned; [`PipelineError::Engine`] if a stage task
+    /// panicked or the pool is gone.
+    pub fn join_many(
+        &mut self,
+        users: impl IntoIterator<Item = (String, Arc<Graph>)>,
+    ) -> Result<(), PipelineError> {
+        let batch: Vec<(String, Arc<Graph>)> = users.into_iter().collect();
+        let sink = Arc::clone(&self.sink);
+        let join_span = span(sink.as_ref(), "session.join_many");
+        let frontends = match &self.cluster {
+            Some(cluster) => {
+                let graphs: Vec<_> = batch.iter().map(|(_, g)| Arc::clone(g)).collect();
+                prepare_users_on(
+                    cluster,
+                    &self.compressor,
+                    self.strategy.as_ref(),
+                    &sink,
+                    graphs,
+                )?
+            }
+            None => batch
+                .iter()
+                .map(|(_, g)| {
+                    prepare_user(&self.compressor, self.strategy.as_ref(), sink.as_ref(), g)
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let joined = batch.len();
+        for ((name, graph), frontend) in batch.into_iter().zip(frontends) {
+            self.insert(PreparedUser {
+                name,
+                graph,
+                frontend,
+            });
+        }
+        join_span.finish();
+        sink.counter_add("session.joins", joined as u64);
+        if sink.enabled() {
+            sink.event(
+                "session.join_many",
+                &[
+                    ("joined", FieldValue::from(joined)),
+                    ("users", FieldValue::from(self.users.len())),
+                ],
+            );
+        }
+        Ok(())
+    }
+
+    /// Inserts or replaces a prepared user (same-name join replaces
+    /// the previous workload).
+    fn insert(&mut self, prepared: PreparedUser) {
+        match self.users.iter_mut().find(|u| u.name == prepared.name) {
+            Some(slot) => *slot = prepared,
+            None => self.users.push(prepared),
+        }
     }
 
     /// Removes a user; returns `false` when no such user was present.
@@ -184,6 +268,13 @@ impl OffloadSession {
     /// Re-runs the placement for the current crowd using the cached
     /// per-user compression and cuts, and prices the result.
     ///
+    /// The report's `timings.compression` / `timings.cutting` are the
+    /// *cached* per-user front-end times recorded at join time (summed
+    /// over the current crowd), so a session report accounts for the
+    /// same three stages a one-shot
+    /// [`Offloader::solve`](crate::Offloader::solve) report does;
+    /// only `timings.greedy` is spent during the replan itself.
+    ///
     /// # Errors
     ///
     /// [`PipelineError::Model`] if the session's system parameters are
@@ -195,8 +286,10 @@ impl OffloadSession {
         let mut parts = PartSystem::new();
         let mut compression_stats = Vec::with_capacity(self.users.len());
         for u in &self.users {
-            compression_stats.push(u.outcome.stats);
-            parts.add_user(&u.graph, &u.outcome, &u.cuts);
+            timings.compression += u.frontend.compression;
+            timings.cutting += u.frontend.cutting;
+            compression_stats.push(u.frontend.outcome.stats);
+            parts.add_user(&u.graph, &u.frontend.outcome, &u.frontend.cuts);
         }
         let s = span(sink, "stage.greedy");
         let greedy = run_greedy_traced(&mut parts, &self.params, self.greedy_mode, sink);
@@ -301,6 +394,72 @@ mod tests {
         }
         assert_eq!(session.user_count(), 0);
         assert!(session.replan().unwrap().plan.is_empty());
+    }
+
+    #[test]
+    fn joined_session_reports_front_end_timings() {
+        // regression: replan used to report zero compression/cutting
+        // time, silently dropping the work done in join
+        let mut session = OffloadSession::new(SystemParams::default());
+        session.join("a", graph(5)).unwrap();
+        session.join("b", graph(6)).unwrap();
+        let report = session.replan().unwrap();
+        assert!(
+            report.timings.compression > std::time::Duration::ZERO,
+            "compression time spent at join must surface in the report"
+        );
+        assert!(
+            report.timings.cutting > std::time::Duration::ZERO,
+            "cutting time spent at join must surface in the report"
+        );
+        // leaving a user drops their cached front-end time too
+        session.leave("a");
+        let after = session.replan().unwrap();
+        assert!(after.timings.compression < report.timings.compression);
+    }
+
+    #[test]
+    fn join_many_matches_repeated_joins() {
+        let batch: Vec<(String, Arc<Graph>)> = (0..4u64)
+            .map(|i| (format!("u{i}"), graph(20 + i)))
+            .collect();
+
+        let mut serial = OffloadSession::new(SystemParams::default());
+        for (name, g) in &batch {
+            serial.join(name.clone(), Arc::clone(g)).unwrap();
+        }
+        let mut batched = OffloadSession::new(SystemParams::default());
+        batched.join_many(batch.clone()).unwrap();
+        assert_eq!(
+            serial.replan().unwrap().plan,
+            batched.replan().unwrap().plan
+        );
+
+        let cluster = Arc::new(mec_engine::Cluster::new(2).unwrap());
+        let mut clustered = OffloadSession::new(SystemParams::default()).with_cluster(cluster);
+        clustered.join_many(batch).unwrap();
+        assert_eq!(
+            serial.replan().unwrap().plan,
+            clustered.replan().unwrap().plan
+        );
+    }
+
+    #[test]
+    fn join_many_replaces_duplicates_like_join_does() {
+        let small = graph(1);
+        let big = Arc::new(NetgenSpec::new(150, 450).seed(9).generate().unwrap());
+        let mut session = OffloadSession::new(SystemParams::default());
+        session
+            .join_many([
+                ("a".to_string(), Arc::clone(&small)),
+                ("b".to_string(), Arc::clone(&small)),
+                // later duplicate in the same batch wins
+                ("a".to_string(), Arc::clone(&big)),
+            ])
+            .unwrap();
+        assert_eq!(session.user_count(), 2);
+        let report = session.replan().unwrap();
+        assert_eq!(report.plan[0].len(), big.node_count());
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub trait CutStrategy: Send + Sync {
     ///
     /// Backend-specific failures; see [`CutError`].
     fn cut(&self, g: &Graph) -> Result<Bipartition, CutError>;
+
+    /// An owned copy of this strategy, for handing each worker task of
+    /// a cluster stage its own instance. Copies must be behaviourally
+    /// identical to the original (same cuts for the same graphs), or
+    /// the cluster solve path loses its bit-for-bit parity with the
+    /// serial one.
+    fn boxed_clone(&self) -> Box<dyn CutStrategy>;
 }
 
 /// The three cut algorithms of the paper's evaluation, as a convenient
@@ -137,6 +144,10 @@ struct SpectralStrategy {
 }
 
 impl CutStrategy for SpectralStrategy {
+    fn boxed_clone(&self) -> Box<dyn CutStrategy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         if self.bisector.is_parallel() {
             "spectral+engine"
@@ -157,6 +168,10 @@ struct MaxFlowStrategy {
 }
 
 impl CutStrategy for MaxFlowStrategy {
+    fn boxed_clone(&self) -> Box<dyn CutStrategy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "max-flow-min-cut"
     }
@@ -176,6 +191,10 @@ struct KlStrategy {
 }
 
 impl CutStrategy for KlStrategy {
+    fn boxed_clone(&self) -> Box<dyn CutStrategy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "kernighan-lin"
     }
@@ -195,6 +214,10 @@ struct MultilevelStrategy {
 }
 
 impl CutStrategy for MultilevelStrategy {
+    fn boxed_clone(&self) -> Box<dyn CutStrategy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "multilevel"
     }

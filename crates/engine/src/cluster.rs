@@ -3,12 +3,68 @@
 use crate::metrics::Metrics;
 use crate::{EngineError, MetricsSnapshot};
 use crossbeam::channel::{unbounded, Sender};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a stage submitted through
+/// [`try_run_stage`](Cluster::try_run_stage) failed: either the engine
+/// itself broke (a task panicked, the pool died), or a task returned an
+/// error of the caller's own type `E`.
+///
+/// When several tasks fail, the lowest task index is reported — the
+/// same task a serial loop over the inputs would have failed on first,
+/// so error reporting stays deterministic under parallel scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageError<E> {
+    /// The engine failed (worker panic or pool shutdown).
+    Engine(EngineError),
+    /// A task returned `Err` of the caller's error type.
+    Task {
+        /// Index of the failed task within its stage.
+        task: usize,
+        /// The task's own error.
+        error: E,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for StageError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageError::Engine(e) => write!(f, "{e}"),
+            StageError::Task { task, error } => write!(f, "task {task} failed: {error}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for StageError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StageError::Engine(e) => Some(e),
+            StageError::Task { error, .. } => Some(error),
+        }
+    }
+}
+
+/// What one task of a fallible stage produced.
+enum TaskOutcome<R, E> {
+    Ok(R),
+    TaskError(E),
+    Panicked(Option<String>),
+}
+
+/// Extracts a human-readable message from a panic payload (the
+/// `&'static str` / `String` payloads `panic!` produces).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+}
 
 /// A fixed pool of worker threads executing stages of tasks.
 ///
@@ -81,8 +137,10 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// [`EngineError::WorkerFailed`] if any task panicked; the first
-    /// failed task index is reported.
+    /// [`EngineError::WorkerFailed`] if any task panicked (the lowest
+    /// failed task index is reported, with the panic message when it
+    /// was a string); [`EngineError::PoolShutDown`] if the worker
+    /// threads are gone.
     pub fn run_stage<T, R>(
         &self,
         inputs: Vec<T>,
@@ -92,47 +150,112 @@ impl Cluster {
         T: Send + 'static,
         R: Send + 'static,
     {
+        self.try_run_stage(inputs, move |i, input| {
+            Ok::<R, std::convert::Infallible>(f(i, input))
+        })
+        .map_err(|e| match e {
+            StageError::Engine(e) => e,
+            StageError::Task { error, .. } => match error {},
+        })
+    }
+
+    /// Runs one stage of *fallible* tasks: applies `f(index, input)` to
+    /// every input on the pool and returns the `Ok` results in input
+    /// order. Unlike [`run_stage`](Cluster::run_stage), a task
+    /// returning `Err` is propagated to the caller instead of being a
+    /// panic-only affair — this is what lets pipeline stages keep their
+    /// typed error channel across the thread boundary.
+    ///
+    /// All tasks run to completion even when one fails (the pool has no
+    /// cancellation), and the reported failure is always the
+    /// lowest-indexed one, exactly as a serial loop would fail.
+    ///
+    /// # Errors
+    ///
+    /// [`StageError::Task`] if a task returned `Err`;
+    /// [`StageError::Engine`] if a task panicked or the pool is gone.
+    /// A panic at a lower task index takes precedence over a task error
+    /// at a higher one (and vice versa): lowest index wins.
+    pub fn try_run_stage<T, R, E>(
+        &self,
+        inputs: Vec<T>,
+        f: impl Fn(usize, T) -> Result<R, E> + Send + Sync + 'static,
+    ) -> Result<Vec<R>, StageError<E>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        E: Send + 'static,
+    {
         let n = inputs.len();
         self.metrics.record_stage();
         if n == 0 {
             return Ok(vec![]);
         }
         let f = Arc::new(f);
-        let (tx, rx) = unbounded::<(usize, Option<R>)>();
+        let (tx, rx) = unbounded::<(usize, TaskOutcome<R, E>)>();
         let sender = self
             .sender
             .as_ref()
-            .expect("cluster sender alive until drop");
+            .ok_or(StageError::Engine(EngineError::PoolShutDown))?;
+        let mut submitted = 0usize;
         for (i, input) in inputs.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let tx = tx.clone();
             let metrics = Arc::clone(&self.metrics);
             let job: Job = Box::new(move || {
                 let start = Instant::now();
-                let out = catch_unwind(AssertUnwindSafe(|| f(i, input))).ok();
+                let out = match catch_unwind(AssertUnwindSafe(|| f(i, input))) {
+                    Ok(Ok(r)) => TaskOutcome::Ok(r),
+                    Ok(Err(e)) => TaskOutcome::TaskError(e),
+                    Err(payload) => TaskOutcome::Panicked(panic_message(payload)),
+                };
                 metrics.record_task(start.elapsed().as_nanos() as u64);
                 // receiver may be gone if the caller bailed early
                 let _ = tx.send((i, out));
             });
-            sender.send(job).expect("workers outlive the cluster");
+            if sender.send(job).is_err() {
+                // every worker thread died: stop submitting and report,
+                // after draining what the pool already finished
+                break;
+            }
+            submitted += 1;
         }
         drop(tx);
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let mut failed: Option<usize> = None;
-        for _ in 0..n {
-            let (i, out) = rx.recv().expect("every task sends exactly once");
+        // lowest-indexed failure seen so far
+        let mut failed: Option<(usize, TaskOutcome<R, E>)> = None;
+        for _ in 0..submitted {
+            let (i, out) = match rx.recv() {
+                Ok(v) => v,
+                // a worker died mid-task without reporting back
+                Err(_) => return Err(StageError::Engine(EngineError::PoolShutDown)),
+            };
             match out {
-                Some(r) => slots[i] = Some(r),
-                None => failed = Some(failed.map_or(i, |p| p.min(i))),
+                TaskOutcome::Ok(r) => slots[i] = Some(r),
+                failure => {
+                    if failed.as_ref().is_none_or(|(p, _)| i < *p) {
+                        failed = Some((i, failure));
+                    }
+                }
             }
         }
-        if let Some(task) = failed {
-            return Err(EngineError::WorkerFailed { task });
+        if submitted < n {
+            return Err(StageError::Engine(EngineError::PoolShutDown));
         }
-        Ok(slots
-            .into_iter()
-            .map(|s| s.expect("all slots filled"))
-            .collect())
+        match failed {
+            Some((task, TaskOutcome::TaskError(error))) => Err(StageError::Task { task, error }),
+            Some((task, TaskOutcome::Panicked(message))) => {
+                Err(StageError::Engine(EngineError::WorkerFailed {
+                    task,
+                    message,
+                }))
+            }
+            Some((_, TaskOutcome::Ok(_))) => unreachable!("Ok outcomes fill slots"),
+            None => Ok(slots
+                .into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect()),
+        }
     }
 
     /// Current execution counters.
@@ -193,10 +316,102 @@ mod tests {
                 x
             })
             .unwrap_err();
-        assert_eq!(err, EngineError::WorkerFailed { task: 1 });
+        assert_eq!(
+            err,
+            EngineError::WorkerFailed {
+                task: 1,
+                message: Some("boom".into())
+            }
+        );
         // cluster still works after a panic
         let ok = c.run_stage(vec![5], |_, x: i32| x + 1).unwrap();
         assert_eq!(ok, vec![6]);
+    }
+
+    #[test]
+    fn panic_payload_string_is_captured() {
+        let c = Cluster::new(2).unwrap();
+        let err = c
+            .run_stage(vec![7], |i, _: i32| -> i32 { panic!("task {i} exploded") })
+            .unwrap_err();
+        match err {
+            EngineError::WorkerFailed { task, message } => {
+                assert_eq!(task, 0);
+                assert_eq!(message.as_deref(), Some("task 0 exploded"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_stage_collects_ok_results_in_order() {
+        let c = Cluster::new(4).unwrap();
+        let out = c
+            .try_run_stage((0..50).collect(), |_, x: i32| Ok::<_, String>(x + 1))
+            .unwrap();
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_stage_propagates_lowest_task_error() {
+        let c = Cluster::new(4).unwrap();
+        let err = c
+            .try_run_stage((0..20).collect(), |i, x: i32| {
+                if i % 7 == 3 {
+                    Err(format!("task {i} refused"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        // failures at 3, 10, 17 — the lowest wins, deterministically
+        assert_eq!(
+            err,
+            StageError::Task {
+                task: 3,
+                error: "task 3 refused".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn try_stage_lowest_index_wins_between_panic_and_error() {
+        let c = Cluster::new(4).unwrap();
+        let err = c
+            .try_run_stage(vec![0, 1, 2, 3], |i, x: i32| {
+                if i == 1 {
+                    panic!("later panic loses");
+                }
+                if i == 0 {
+                    return Err("first error wins".to_string());
+                }
+                Ok(x)
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StageError::Task {
+                task: 0,
+                error: "first error wins".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn try_stage_panic_surfaces_as_engine_error() {
+        let c = Cluster::new(2).unwrap();
+        let err = c
+            .try_run_stage(vec![1], |_, _: i32| -> Result<i32, String> {
+                panic!("strategy exploded")
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StageError::Engine(EngineError::WorkerFailed {
+                task: 0,
+                message: Some("strategy exploded".into())
+            })
+        );
     }
 
     #[test]

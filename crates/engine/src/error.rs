@@ -15,7 +15,13 @@ pub enum EngineError {
     WorkerFailed {
         /// Index of the failed task within its stage.
         task: usize,
+        /// The panic payload, when it was a string (the common case for
+        /// `panic!`/`assert!`); `None` for non-string payloads.
+        message: Option<String>,
     },
+    /// The worker pool's threads are gone, so a task could not even be
+    /// submitted.
+    PoolShutDown,
 }
 
 impl fmt::Display for EngineError {
@@ -23,8 +29,20 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::NoWorkers => f.write_str("cluster requires at least one worker"),
             EngineError::NoPartitions => f.write_str("at least one partition is required"),
-            EngineError::WorkerFailed { task } => {
+            EngineError::WorkerFailed {
+                task,
+                message: Some(msg),
+            } => {
+                write!(f, "worker failed while executing task {task}: {msg}")
+            }
+            EngineError::WorkerFailed {
+                task,
+                message: None,
+            } => {
                 write!(f, "worker failed while executing task {task}")
+            }
+            EngineError::PoolShutDown => {
+                f.write_str("worker pool has shut down; no task can be submitted")
             }
         }
     }
@@ -42,9 +60,19 @@ mod tests {
             EngineError::NoWorkers.to_string(),
             "cluster requires at least one worker"
         );
-        assert!(EngineError::WorkerFailed { task: 3 }
-            .to_string()
-            .contains("task 3"));
+        assert!(EngineError::WorkerFailed {
+            task: 3,
+            message: None
+        }
+        .to_string()
+        .contains("task 3"));
+        let with_payload = EngineError::WorkerFailed {
+            task: 3,
+            message: Some("boom".into()),
+        }
+        .to_string();
+        assert!(with_payload.contains("task 3") && with_payload.contains("boom"));
+        assert!(EngineError::PoolShutDown.to_string().contains("shut down"));
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod metrics;
 mod parallel_csr;
 mod parallel_op;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, StageError};
 pub use dataset::Dataset;
 pub use error::EngineError;
 pub use metrics::MetricsSnapshot;

@@ -8,6 +8,17 @@ use serde::{Deserialize, Serialize};
 /// The paper fixes "a weight threshold w" but leaves its value open;
 /// an absolute value only suits one workload scale, so the default is
 /// relative to the sub-graph's mean edge weight.
+///
+/// An edge carries a label when its weight is **at least** the
+/// resolved `w` (inclusive comparison). This matters whenever the rule
+/// resolves to a weight that actually occurs in the graph: a
+/// [`Quantile`](ThresholdRule::Quantile) threshold is always one of
+/// the edge weights, and [`MeanFactor`](ThresholdRule::MeanFactor)
+/// equals every weight on a uniform-weight graph. With a strict
+/// comparison those edges would never carry and such graphs would
+/// never compress; inclusively, `MeanFactor(1.0)` merges a
+/// uniform-weight component completely and `Quantile(q)` lets the
+/// heaviest `1 − q` fraction of edges (ties included) carry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ThresholdRule {
     /// Use this exact value for every sub-graph.

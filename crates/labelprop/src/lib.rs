@@ -6,10 +6,10 @@
 //! 1. unoffloadable functions are removed;
 //! 2. the graph is split at component boundaries, and each sub-graph is
 //!    processed in parallel;
-//! 3. labels spread from the max-degree *starter* node: an edge heavier
-//!    than the threshold `w` carries the label across, a lighter edge
-//!    mints a fresh label; rounds repeat until the update rate `α`
-//!    drops to `α_t` or `β_t` rounds have run;
+//! 3. labels spread from the max-degree *starter* node: an edge at
+//!    least as heavy as the threshold `w` carries the label across, a
+//!    lighter edge mints a fresh label; rounds repeat until the update
+//!    rate `α` drops to `α_t` or `β_t` rounds have run;
 //! 4. directly-connected nodes with the same label merge into one
 //!    super-node ([`mec_graph::QuotientGraph`]), so highly coupled
 //!    functions can never be separated by the later cut.

@@ -82,11 +82,17 @@ fn visit_order(g: &Graph, policy: TraversalPolicy) -> Vec<NodeId> {
 /// Runs the paper's label rule on `g`:
 ///
 /// - the max-degree node starts with label 0;
-/// - during the initial sweep an edge heavier than `w` carries the
-///   current label to an unlabelled neighbour, a lighter edge mints a
-///   fresh label (§III-A "Label initialization and propagation");
+/// - during the initial sweep an edge *at least as heavy as* `w`
+///   carries the current label to an unlabelled neighbour, a lighter
+///   edge mints a fresh label (§III-A "Label initialization and
+///   propagation"; the comparison is inclusive so threshold rules that
+///   resolve to a weight present in the graph — every
+///   [`ThresholdRule::Quantile`](crate::ThresholdRule::Quantile), or
+///   [`ThresholdRule::MeanFactor`](crate::ThresholdRule::MeanFactor)
+///   on a uniform-weight graph — still let the selected edges carry);
 /// - subsequent rounds re-visit every node and let it adopt the label
-///   with the greatest total *heavy* incident weight;
+///   with the greatest total incident weight over carrying (`≥ w`)
+///   edges;
 /// - rounds stop when the update rate `α ≤ α_t` or after `β_t` rounds
 ///   (§III-A "End of propagation").
 ///
@@ -130,7 +136,7 @@ pub fn propagate_labels_traced(
         let lu = labels[u.index()];
         for nb in g.neighbors(u) {
             if labels[nb.node.index()] == UNLABELED {
-                if g.edge_weight(nb.edge) > threshold {
+                if g.edge_weight(nb.edge) >= threshold {
                     labels[nb.node.index()] = lu;
                 } else {
                     labels[nb.node.index()] = next_label;
@@ -169,7 +175,7 @@ pub fn propagate_labels_traced(
             let mut scores: HashMap<usize, f64> = HashMap::new();
             for nb in g.neighbors(u) {
                 let w = g.edge_weight(nb.edge);
-                if w > threshold {
+                if w >= threshold {
                     *scores.entry(labels[nb.node.index()]).or_insert(0.0) += w;
                 }
             }
@@ -311,6 +317,43 @@ mod tests {
         let a = propagate_labels(&g, &CompressionConfig::default());
         let b = propagate_labels(&g, &CompressionConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_weight_graph_merges_under_mean_factor_one() {
+        // all edges share one weight → the mean equals every weight;
+        // the inclusive carry rule must let them all carry labels
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..5).map(|_| b.add_node(1.0)).collect();
+        for w in n.windows(2) {
+            b.add_edge(w[0], w[1], 4.0).unwrap();
+        }
+        let g = b.build();
+        let cfg = CompressionConfig::new().threshold(ThresholdRule::MeanFactor(1.0));
+        let out = propagate_labels(&g, &cfg);
+        assert_eq!(out.label_count(), 1, "uniform graph must fully merge");
+    }
+
+    #[test]
+    fn uniform_weight_graph_merges_under_quantile_rules() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.add_node(1.0)).collect();
+        for w in n.windows(2) {
+            b.add_edge(w[0], w[1], 2.5).unwrap();
+        }
+        let g = b.build();
+        for q in [0.0, 0.5, 1.0] {
+            let cfg = CompressionConfig::new().threshold(ThresholdRule::Quantile(q));
+            let out = propagate_labels(&g, &cfg);
+            assert_eq!(out.label_count(), 1, "Quantile({q}) must merge");
+        }
+    }
+
+    #[test]
+    fn edges_exactly_at_threshold_carry_labels() {
+        let g = dumbbell(); // heavy edges weigh exactly 10.0
+        let out = propagate_labels(&g, &config_abs(10.0));
+        assert_eq!(out.label_count(), 2, "weight == threshold must carry");
     }
 
     #[test]

@@ -35,6 +35,12 @@ impl UserWorkload {
         &self.graph
     }
 
+    /// A shared handle to the application graph, for work that must
+    /// own the graph (e.g. cluster stage tasks).
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
     /// An all-local plan for this workload (the no-offloading
     /// baseline).
     pub fn all_local_plan(&self) -> Bipartition {

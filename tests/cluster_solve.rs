@@ -1,0 +1,123 @@
+//! The cluster-backed solve path must be indistinguishable from the
+//! serial one: bit-identical plans at every worker count, batch joins
+//! equivalent to repeated joins, and worker panics surfaced as typed
+//! pipeline errors instead of hangs or aborts.
+
+use copmecs::core::PipelineError;
+use copmecs::engine::{Cluster, EngineError};
+use copmecs::graph::Bipartition;
+use copmecs::prelude::*;
+use std::sync::Arc;
+
+fn crowd(users: usize, nodes: usize, seed: u64) -> Scenario {
+    Scenario::new(SystemParams::default()).with_users((0..users).map(|i| {
+        let g = NetgenSpec::new(nodes, nodes * 3)
+            .seed(seed + i as u64)
+            .generate()
+            .expect("generable workload");
+        UserWorkload::new(format!("u{i}"), g)
+    }))
+}
+
+#[test]
+fn cluster_plans_are_bit_identical_across_strategies_seeds_and_workers() {
+    let strategies = [
+        StrategyKind::Spectral,
+        StrategyKind::MaxFlow,
+        StrategyKind::KernighanLin,
+    ];
+    for strategy in strategies {
+        for seed in [3u64, 91] {
+            let scenario = crowd(5, 60, seed);
+            let serial = Offloader::builder()
+                .strategy(strategy.clone())
+                .build()
+                .solve(&scenario)
+                .unwrap();
+            for workers in [1usize, 2, 8] {
+                let cluster = Arc::new(Cluster::new(workers).unwrap());
+                let report = Offloader::builder()
+                    .strategy(strategy.clone())
+                    .cluster(cluster)
+                    .build()
+                    .solve(&scenario)
+                    .unwrap();
+                assert_eq!(
+                    serial.plan, report.plan,
+                    "plan diverged: strategy={} seed={seed} workers={workers}",
+                    serial.strategy
+                );
+                assert_eq!(
+                    serial.evaluation.totals.objective().to_bits(),
+                    report.evaluation.totals.objective().to_bits(),
+                    "objective diverged: strategy={} seed={seed} workers={workers}",
+                    serial.strategy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn join_many_matches_repeated_joins_bit_for_bit() {
+    let graphs: Vec<Arc<Graph>> = (0..4)
+        .map(|i| Arc::new(NetgenSpec::new(50, 160).seed(40 + i).generate().unwrap()))
+        .collect();
+
+    let mut one_by_one = OffloadSession::new(SystemParams::default());
+    for (i, g) in graphs.iter().enumerate() {
+        one_by_one.join(format!("u{i}"), Arc::clone(g)).unwrap();
+    }
+
+    let mut batched = OffloadSession::new(SystemParams::default())
+        .with_cluster(Arc::new(Cluster::new(3).unwrap()));
+    batched
+        .join_many(
+            graphs
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (format!("u{i}"), Arc::clone(g))),
+        )
+        .unwrap();
+
+    let a = one_by_one.replan().unwrap();
+    let b = batched.replan().unwrap();
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(
+        a.evaluation.totals.objective().to_bits(),
+        b.evaluation.totals.objective().to_bits()
+    );
+}
+
+/// Strategy that panics on every cut — drives the worker-failure path.
+#[derive(Debug, Clone)]
+struct ExplodingStrategy;
+
+impl CutStrategy for ExplodingStrategy {
+    fn boxed_clone(&self) -> Box<dyn CutStrategy> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "exploding"
+    }
+
+    fn cut(&self, _g: &Graph) -> Result<Bipartition, copmecs::core::CutError> {
+        panic!("cut stage exploded");
+    }
+}
+
+#[test]
+fn panicking_strategy_surfaces_as_pipeline_error_not_hang() {
+    let scenario = crowd(3, 40, 7);
+    let offloader = Offloader::builder()
+        .cluster(Arc::new(Cluster::new(2).unwrap()))
+        .build_with_strategy(Box::new(ExplodingStrategy));
+    let err = offloader.solve(&scenario).unwrap_err();
+    match err {
+        PipelineError::Engine(EngineError::WorkerFailed { message, .. }) => {
+            assert_eq!(message.as_deref(), Some("cut stage exploded"));
+        }
+        other => panic!("expected an engine worker failure, got: {other}"),
+    }
+}

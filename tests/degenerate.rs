@@ -117,6 +117,58 @@ fn invalid_system_parameters_surface_as_model_errors() {
 }
 
 #[test]
+fn uniform_weight_graph_compresses_under_inclusive_threshold() {
+    // every edge weighs the same, so the mean IS every weight; the
+    // inclusive carry rule (>=) must merge the clique instead of
+    // leaving the graph uncompressed
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<_> = (0..8).map(|_| b.add_node(10.0)).collect();
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            b.add_edge(nodes[i], nodes[j], 4.0).unwrap();
+        }
+    }
+    let s = Scenario::new(SystemParams::default()).with_user(UserWorkload::new("u", b.build()));
+    let report = Offloader::builder()
+        .compression(CompressionConfig {
+            threshold: ThresholdRule::MeanFactor(1.0),
+            ..CompressionConfig::default()
+        })
+        .build()
+        .solve(&s)
+        .unwrap();
+    let stats = &report.compression[0];
+    assert_eq!(stats.offloadable_nodes, 8);
+    assert_eq!(
+        stats.compressed_nodes, 1,
+        "a uniform-weight clique must collapse to one super-node"
+    );
+}
+
+#[test]
+fn uniform_weight_path_compresses_under_quantile_rule() {
+    // quantile thresholds always resolve to an existing edge weight;
+    // with uniform weights that weight must still carry (>=), so the
+    // whole path merges
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<_> = (0..6).map(|_| b.add_node(5.0)).collect();
+    for w in nodes.windows(2) {
+        b.add_edge(w[0], w[1], 2.0).unwrap();
+    }
+    let s = Scenario::new(SystemParams::default()).with_user(UserWorkload::new("u", b.build()));
+    let report = Offloader::builder()
+        .compression(CompressionConfig {
+            threshold: ThresholdRule::Quantile(0.5),
+            ..CompressionConfig::default()
+        })
+        .build()
+        .solve(&s)
+        .unwrap();
+    let stats = &report.compression[0];
+    assert_eq!(stats.compressed_nodes, 1);
+}
+
+#[test]
 fn enormous_weights_do_not_break_pricing() {
     let mut b = GraphBuilder::new();
     let a = b.add_node(1e12);
