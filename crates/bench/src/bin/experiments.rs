@@ -18,9 +18,47 @@ use mec_bench::energy::{self, EnergyPoint};
 use mec_bench::multiuser::{self, MultiUserConfig, MultiUserPoint};
 use mec_bench::report::{normalize, render_table, write_json};
 use mec_bench::runtime::{self, FrontendSpeedup, RuntimePoint};
+use mec_bench::spectral_hotpath::{self, AllocSnapshot, HotpathSpec};
 use mec_bench::{table1, DEFAULT_SEED, PAPER_SIZES, PAPER_USER_SIZES};
 use mec_obs::{Recorder, TraceSink};
 use std::sync::Arc;
+
+/// Counting allocator so the hot-path benchmark can report allocation
+/// and peak-heap deltas alongside wall time. Only this binary installs
+/// it; the library crates stay `forbid(unsafe_code)`.
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    pub static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+    static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+    pub static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+                ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+                let live = LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed)
+                    + layout.size() as u64;
+                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
 
 struct Options {
     command: String,
@@ -30,6 +68,7 @@ struct Options {
     extra: bool,
     trace_out: Option<String>,
     workers: usize,
+    bench_out: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -42,6 +81,7 @@ fn parse_args() -> Options {
         extra: false,
         trace_out: None,
         workers: 4,
+        bench_out: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -69,6 +109,12 @@ fn parse_args() -> Options {
                     .filter(|&w| w > 0)
                     .unwrap_or_else(|| die("--workers needs a positive integer"));
             }
+            "--bench-out" => {
+                opts.bench_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--bench-out needs a path")),
+                );
+            }
             cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                 opts.command = cmd.to_string();
             }
@@ -76,7 +122,12 @@ fn parse_args() -> Options {
         }
     }
     if opts.command.is_empty() {
-        opts.command = "all".to_string();
+        // `--bench-out FILE` alone means "just run the hot-path bench"
+        opts.command = if opts.bench_out.is_some() {
+            "bench".to_string()
+        } else {
+            "all".to_string()
+        };
     }
     opts
 }
@@ -84,8 +135,9 @@ fn parse_args() -> Options {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|check|all] \
-         [--quick] [--extra] [--seed N] [--out DIR] [--trace-out FILE] [--workers N]"
+        "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|bench|check|all] \
+         [--quick] [--extra] [--seed N] [--out DIR] [--trace-out FILE] [--workers N] \
+         [--bench-out FILE]"
     );
     std::process::exit(2);
 }
@@ -372,6 +424,69 @@ fn run_check(opts: &Options) {
     }
 }
 
+fn run_bench(opts: &Options) {
+    println!("== spectral hot path: pre-PR baseline vs zero-realloc ==\n");
+    let spec = HotpathSpec {
+        seed: opts.seed,
+        ..if opts.quick {
+            HotpathSpec {
+                users: 3,
+                nodes: 1000,
+                iters: 2,
+                ..HotpathSpec::default()
+            }
+        } else {
+            HotpathSpec::default()
+        }
+    };
+    let probe = || AllocSnapshot {
+        allocations: counting_alloc::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed),
+        allocated_bytes: counting_alloc::ALLOCATED_BYTES.load(std::sync::atomic::Ordering::Relaxed),
+        peak_bytes: counting_alloc::PEAK_BYTES.load(std::sync::atomic::Ordering::Relaxed),
+    };
+    let report = spectral_hotpath::run(&spec, Some(&probe)).expect("hot path is benchable");
+    let fmt_opt = |v: Option<u64>| v.map_or_else(|| "n/a".to_string(), |v| v.to_string());
+    let rows: Vec<Vec<String>> = [&report.baseline, &report.optimized]
+        .iter()
+        .map(|m| {
+            vec![
+                m.label.clone(),
+                format!("{:.4}s", m.seconds),
+                fmt_opt(m.allocations),
+                fmt_opt(m.allocated_bytes),
+                fmt_opt(m.peak_growth_bytes),
+                m.parts.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "variant",
+                "mean wall",
+                "allocs/run",
+                "bytes/run",
+                "peak growth",
+                "parts",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "speedup: {:.2}x   alloc ratio: {}",
+        report.speedup,
+        report
+            .alloc_ratio
+            .map_or_else(|| "n/a".to_string(), |r| format!("{r:.1}x")),
+    );
+    let path = opts
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_spectral.json".to_string());
+    write_json(path, &report);
+}
+
 fn run_ablation(opts: &Options, sink: &Arc<dyn TraceSink>) {
     println!("== Ablations: objective E+T per design knob ==\n");
     let points = ablation::run_traced(opts.seed, sink);
@@ -522,6 +637,7 @@ fn main() {
         }
         "fig9" => run_fig9(&opts, &sink),
         "ablate" => run_ablation(&opts, &sink),
+        "bench" => run_bench(&opts),
         "check" => run_check(&opts),
         "all" => {
             run_table1(&opts, &sink);

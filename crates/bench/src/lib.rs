@@ -26,6 +26,7 @@ pub mod energy;
 pub mod multiuser;
 pub mod report;
 pub mod runtime;
+pub mod spectral_hotpath;
 pub mod table1;
 pub mod workload;
 

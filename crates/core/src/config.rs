@@ -149,7 +149,7 @@ mod tests {
         }"#;
         let config = PipelineConfig::from_json_str(json).unwrap();
         let g = NetgenSpec::new(80, 220).seed(3).generate().unwrap();
-        let scenario = Scenario::new(config.system).with_user(UserWorkload::new("u", g.clone()));
+        let scenario = Scenario::new(config.system).with_user(UserWorkload::new("u", g));
         let from_config = config.offloader().solve(&scenario).unwrap();
         let direct = Offloader::builder()
             .strategy(StrategyKind::MaxFlow)

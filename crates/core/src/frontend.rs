@@ -14,6 +14,7 @@ use mec_engine::{Cluster, StageError};
 use mec_graph::{Bipartition, Graph};
 use mec_labelprop::{CompressionOutcome, Compressor};
 use mec_obs::{span, TraceSink};
+use mec_spectral::CutScratch;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -32,12 +33,30 @@ pub(crate) struct FrontEnd {
     pub cutting: Duration,
 }
 
-/// Runs compression and per-component cuts for one user's graph.
+/// Runs compression and per-component cuts for one user's graph,
+/// allocating a fresh cut arena.
 pub(crate) fn prepare_user(
     compressor: &Compressor,
     strategy: &dyn CutStrategy,
     sink: &dyn TraceSink,
     graph: &Graph,
+) -> Result<FrontEnd, PipelineError> {
+    prepare_user_reusing(compressor, strategy, sink, graph, &mut CutScratch::new())
+}
+
+/// [`prepare_user`] with a caller-owned [`CutScratch`]: every
+/// per-component cut goes through
+/// [`CutStrategy::cut_reusing`], so spectral backends recycle their
+/// CSR snapshot, Krylov basis, and sweep buffers across components —
+/// and, when the caller threads the same arena across users, across the
+/// whole batch. Plans are identical to [`prepare_user`] by the
+/// `cut_reusing` contract.
+pub(crate) fn prepare_user_reusing(
+    compressor: &Compressor,
+    strategy: &dyn CutStrategy,
+    sink: &dyn TraceSink,
+    graph: &Graph,
+    scratch: &mut CutScratch,
 ) -> Result<FrontEnd, PipelineError> {
     let s = span(sink, "stage.compression");
     let outcome = compressor.compress_traced(graph, sink);
@@ -46,7 +65,7 @@ pub(crate) fn prepare_user(
     let s = span(sink, "stage.cutting");
     let mut cuts = Vec::with_capacity(outcome.components.len());
     for comp in &outcome.components {
-        cuts.push(strategy.cut(comp.quotient.graph())?);
+        cuts.push(strategy.cut_reusing(comp.quotient.graph(), scratch)?);
     }
     let cutting = s.finish();
 
@@ -80,7 +99,17 @@ pub(crate) fn prepare_users_on(
     cluster
         .try_run_stage(graphs, move |_, graph| {
             let strategy = master.boxed_clone();
-            prepare_user(&compressor, strategy.as_ref(), sink.as_ref(), &graph)
+            // one arena per task: recycled across every component of
+            // this user's graph (tasks run concurrently, so arenas are
+            // per-task rather than shared)
+            let mut scratch = CutScratch::new();
+            prepare_user_reusing(
+                &compressor,
+                strategy.as_ref(),
+                sink.as_ref(),
+                &graph,
+                &mut scratch,
+            )
         })
         .map_err(|e| match e {
             StageError::Task { error, .. } => error,

@@ -613,7 +613,7 @@ mod tests {
         let mut ps = build_ps(std::slice::from_ref(&g));
         let p = params();
         let state = ObjectiveState::new(&ps, &p);
-        let scenario = Scenario::new(p).with_user(UserWorkload::new("u", g.clone()));
+        let scenario = Scenario::new(p).with_user(UserWorkload::new("u", g));
         let eval = scenario.evaluate(&ps.plan()).unwrap();
         assert!(
             (state.objective() - eval.totals.objective()).abs() < 1e-9,

@@ -1,6 +1,6 @@
 //! The end-to-end pipeline driver.
 
-use crate::frontend::{prepare_user, prepare_users_on, FrontEnd};
+use crate::frontend::{prepare_user_reusing, prepare_users_on, FrontEnd};
 use crate::greedy::{run_greedy_traced, GreedyMode, GreedyOutcome};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
@@ -10,6 +10,7 @@ use mec_graph::Bipartition;
 use mec_labelprop::{CompressionConfig, CompressionStats, Compressor};
 use mec_model::{Evaluation, Scenario};
 use mec_obs::{span, TraceSink};
+use mec_spectral::CutScratch;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -303,10 +304,22 @@ impl Offloader {
         // StageTimings is a view over the stage spans: each SpanGuard
         // measures its own elapsed time, so the numbers are identical
         // whether the sink records spans or discards them.
+        //
+        // One cut arena serves the whole batch: buffers grow to the
+        // largest component once and are recycled for every later cut.
+        let mut scratch = CutScratch::new();
         let prepared = scenario
             .users()
             .iter()
-            .map(|user| prepare_user(&self.compressor, self.strategy.as_ref(), sink, user.graph()))
+            .map(|user| {
+                prepare_user_reusing(
+                    &self.compressor,
+                    self.strategy.as_ref(),
+                    sink,
+                    user.graph(),
+                    &mut scratch,
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
         let report = self.assemble(scenario, prepared);
         drop(solve_span);
@@ -499,10 +512,7 @@ mod tests {
         let g = NetgenSpec::new(80, 220).seed(6).generate().unwrap();
         let report = Offloader::new().solve_single(&g).unwrap();
         let manual = Offloader::new()
-            .solve(
-                &Scenario::new(SystemParams::default())
-                    .with_user(UserWorkload::new("user", g.clone())),
-            )
+            .solve(&Scenario::new(SystemParams::default()).with_user(UserWorkload::new("user", g)))
             .unwrap();
         assert_eq!(report.plan, manual.plan);
     }

@@ -9,7 +9,7 @@
 //! bookkeeping and re-runs the greedy placement against the current
 //! crowd.
 
-use crate::frontend::{prepare_user, prepare_users_on, FrontEnd};
+use crate::frontend::{prepare_user, prepare_user_reusing, prepare_users_on, FrontEnd};
 use crate::greedy::{run_greedy_traced, GreedyMode};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
@@ -210,12 +210,22 @@ impl OffloadSession {
                     graphs,
                 )?
             }
-            None => batch
-                .iter()
-                .map(|(_, g)| {
-                    prepare_user(&self.compressor, self.strategy.as_ref(), sink.as_ref(), g)
-                })
-                .collect::<Result<Vec<_>, _>>()?,
+            None => {
+                // one cut arena across the whole serial batch
+                let mut scratch = mec_spectral::CutScratch::new();
+                batch
+                    .iter()
+                    .map(|(_, g)| {
+                        prepare_user_reusing(
+                            &self.compressor,
+                            self.strategy.as_ref(),
+                            sink.as_ref(),
+                            g,
+                            &mut scratch,
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
         };
         let joined = batch.len();
         for ((name, graph), frontend) in batch.into_iter().zip(frontends) {

@@ -6,7 +6,7 @@ use mec_baselines::{
 use mec_engine::Cluster;
 use mec_graph::{Bipartition, Graph, Side};
 use mec_obs::TraceSink;
-use mec_spectral::{SpectralBisector, SpectralError};
+use mec_spectral::{CutScratch, SpectralBisector, SpectralError};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -65,6 +65,26 @@ pub trait CutStrategy: Send + Sync {
     ///
     /// Backend-specific failures; see [`CutError`].
     fn cut(&self, g: &Graph) -> Result<Bipartition, CutError>;
+
+    /// Bipartitions `g` inside a caller-owned [`CutScratch`] arena.
+    ///
+    /// The front-end threads one arena through every component of every
+    /// user it prepares, so backends that can recycle buffers (the
+    /// spectral ones) avoid re-allocating their CSR snapshot, Krylov
+    /// basis, and sweep buffers per cut. The default implementation
+    /// ignores the arena and delegates to [`cut`](CutStrategy::cut) —
+    /// combinatorial baselines have no spectral state to reuse.
+    ///
+    /// Implementations must return exactly what `cut` would: the arena
+    /// is a performance channel, never a behavioural one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`cut`](CutStrategy::cut).
+    fn cut_reusing(&self, g: &Graph, scratch: &mut CutScratch) -> Result<Bipartition, CutError> {
+        let _ = scratch;
+        self.cut(g)
+    }
 
     /// An owned copy of this strategy, for handing each worker task of
     /// a cluster stage its own instance. Copies must be behaviourally
@@ -158,6 +178,10 @@ impl CutStrategy for SpectralStrategy {
 
     fn cut(&self, g: &Graph) -> Result<Bipartition, CutError> {
         Ok(self.bisector.bisect(g)?.partition)
+    }
+
+    fn cut_reusing(&self, g: &Graph, scratch: &mut CutScratch) -> Result<Bipartition, CutError> {
+        Ok(self.bisector.bisect_reusing(g, scratch)?.partition)
     }
 }
 

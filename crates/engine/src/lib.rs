@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod apply_scratch;
 mod cluster;
 mod dataset;
 mod error;

@@ -6,9 +6,10 @@
 //! can accelerate arbitrary `mec-linalg` workloads (CG solves,
 //! non-Laplacian spectra).
 
+use crate::apply_scratch::{self, ApplyScratch};
 use crate::{Cluster, EngineError};
 use mec_linalg::{CsrMatrix, SymOp};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One contiguous block of matrix rows.
 #[derive(Debug)]
@@ -42,6 +43,8 @@ pub struct ParallelCsr {
     cluster: Arc<Cluster>,
     blocks: Arc<Vec<CsrBlock>>,
     dim: usize,
+    /// Recycled broadcast / gather buffers, shared by clones.
+    scratch: Arc<Mutex<ApplyScratch>>,
 }
 
 impl ParallelCsr {
@@ -95,6 +98,7 @@ impl ParallelCsr {
             cluster,
             blocks: Arc::new(shards),
             dim: n,
+            scratch: ApplyScratch::shared(),
         })
     }
 
@@ -112,20 +116,17 @@ impl SymOp for ParallelCsr {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.dim, "x length mismatch");
         assert_eq!(y.len(), self.dim, "y length mismatch");
-        let xs: Arc<Vec<f64>> = Arc::new(x.to_vec());
+        let (xs, inputs) = apply_scratch::checkout(&self.scratch, x, self.blocks.len());
         let blocks = Arc::clone(&self.blocks);
-        let inputs: Vec<usize> = (0..blocks.len()).collect();
+        let xs_stage = Arc::clone(&xs);
         let pieces = self
             .cluster
-            .run_stage(inputs, move |_, bi| {
-                let mut out = Vec::new();
-                blocks[bi].apply(&xs, &mut out);
+            .run_stage(inputs, move |_, (bi, mut out)| {
+                blocks[bi].apply(&xs_stage, &mut out);
                 (blocks[bi].start, out)
             })
             .expect("csr stage does not panic");
-        for (start, piece) in pieces {
-            y[start..start + piece.len()].copy_from_slice(&piece);
-        }
+        apply_scratch::retire(&self.scratch, xs, pieces, y);
     }
 }
 

@@ -5,9 +5,10 @@
 //! Laplacian are sharded into row blocks, and every `y = L x` product
 //! runs one task per block on the [`Cluster`].
 
+use crate::apply_scratch::{self, ApplyScratch};
 use crate::{Cluster, EngineError};
 use mec_linalg::SymOp;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One contiguous block of Laplacian rows in CSR form.
 #[derive(Debug)]
@@ -52,6 +53,10 @@ pub struct ParallelLaplacian {
     cluster: Arc<Cluster>,
     blocks: Arc<Vec<RowBlock>>,
     dim: usize,
+    /// Recycled broadcast / gather buffers (see [`apply_scratch`]);
+    /// shared by clones, which keeps repeated products allocation-free
+    /// no matter which handle runs them.
+    scratch: Arc<Mutex<ApplyScratch>>,
 }
 
 impl ParallelLaplacian {
@@ -126,6 +131,7 @@ impl ParallelLaplacian {
             cluster,
             blocks: Arc::new(shards),
             dim: n,
+            scratch: ApplyScratch::shared(),
         })
     }
 
@@ -148,21 +154,19 @@ impl SymOp for ParallelLaplacian {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.dim, "x length mismatch");
         assert_eq!(y.len(), self.dim, "y length mismatch");
-        // broadcast: one shared copy of x for the whole stage
-        let xs: Arc<Vec<f64>> = Arc::new(x.to_vec());
+        // broadcast: one shared (pooled) copy of x for the whole
+        // stage; each task also carries its pooled output buffer
+        let (xs, inputs) = apply_scratch::checkout(&self.scratch, x, self.blocks.len());
         let blocks = Arc::clone(&self.blocks);
-        let inputs: Vec<usize> = (0..blocks.len()).collect();
+        let xs_stage = Arc::clone(&xs);
         let pieces = self
             .cluster
-            .run_stage(inputs, move |_, bi| {
-                let mut out = Vec::new();
-                blocks[bi].apply(&xs, &mut out);
+            .run_stage(inputs, move |_, (bi, mut out)| {
+                blocks[bi].apply(&xs_stage, &mut out);
                 (blocks[bi].start, out)
             })
             .expect("laplacian stage does not panic");
-        for (start, piece) in pieces {
-            y[start..start + piece.len()].copy_from_slice(&piece);
-        }
+        apply_scratch::retire(&self.scratch, xs, pieces, y);
     }
 }
 

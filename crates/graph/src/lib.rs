@@ -64,7 +64,7 @@ mod traversal;
 
 pub use builder::{GraphBuilder, ParallelEdgePolicy};
 pub use components::ComponentLabeling;
-pub use csr::CsrAdjacency;
+pub use csr::{CsrAdjacency, CsrView};
 pub use error::GraphError;
 pub use graph::{EdgeRef, Graph, NeighborRef};
 pub use ids::{EdgeId, NodeId};

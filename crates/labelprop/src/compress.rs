@@ -132,6 +132,9 @@ impl Compressor {
         };
         let components: Vec<CompressedComponent> = if config.parallel && pieces.len() > 1 {
             std::thread::scope(|scope| {
+                // the collect is load-bearing: it spawns every worker
+                // before the first join, which is the whole point
+                #[allow(clippy::needless_collect)]
                 let handles: Vec<_> = pieces.iter().map(|p| scope.spawn(|| process(p))).collect();
                 handles
                     .into_iter()

@@ -19,12 +19,21 @@ pub struct LabelingOutcome {
 
 impl LabelingOutcome {
     /// Number of distinct labels in the outcome.
+    ///
+    /// Labels are minted densely (every label is `< labels.len()`), so
+    /// a `Vec<bool>` sized by the label universe counts them without
+    /// hashing or allocating per element.
     pub fn label_count(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        self.labels.iter().for_each(|&l| {
-            seen.insert(l);
-        });
-        seen.len()
+        let universe = self.labels.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut seen = vec![false; universe];
+        let mut count = 0usize;
+        for &l in &self.labels {
+            if !seen[l] {
+                seen[l] = true;
+                count += 1;
+            }
+        }
+        count
     }
 }
 
@@ -36,13 +45,12 @@ fn visit_order(g: &Graph, policy: TraversalPolicy) -> Vec<NodeId> {
     let n = g.node_count();
     let mut order = Vec::with_capacity(n);
     let mut seen = vec![false; n];
-    // candidate starters sorted by (degree desc, id asc)
+    // candidate starters sorted by (degree desc, id asc); degrees are
+    // precomputed once so the comparator doesn't recompute them
+    // O(n log n) times
+    let degrees: Vec<usize> = (0..n).map(|i| g.degree(NodeId::new(i))).collect();
     let mut starters: Vec<usize> = (0..n).collect();
-    starters.sort_by(|&a, &b| {
-        g.degree(NodeId::new(b))
-            .cmp(&g.degree(NodeId::new(a)))
-            .then(a.cmp(&b))
-    });
+    starters.sort_by(|&a, &b| degrees[b].cmp(&degrees[a]).then(a.cmp(&b)));
     for s in starters {
         if seen[s] {
             continue;

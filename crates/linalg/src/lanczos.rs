@@ -9,7 +9,7 @@
 //! handled by restarting with a fresh direction — which makes the solver
 //! correct on *disconnected* graphs too (multiple zero eigenvalues).
 
-use crate::tridiag::tridiagonal_eigen;
+use crate::tridiag::{tridiagonal_eigen, tridiagonal_eigenvalues, tridiagonal_eigenvector};
 use crate::vector::{axpy, dot, normalize, orthogonalize_against};
 use crate::{jacobi_eigen, DenseMatrix, JacobiOptions, LinalgError, SymOp};
 use mec_obs::{FieldValue, TraceSink};
@@ -36,6 +36,12 @@ pub struct LanczosOptions {
     /// Operator dimension at or below which the dense Jacobi solver is
     /// used directly instead of iterating. Default `32`.
     pub dense_cutoff: usize,
+    /// When `true`, a caller-supplied start vector (the `warm` argument
+    /// of [`lanczos_with`] / [`smallest_eigenpairs_with`]) seeds the
+    /// first Krylov direction instead of the pseudo-random one. Default
+    /// `false`; with the flag off every entry point is bit-identical to
+    /// the historical behaviour regardless of what `warm` holds.
+    pub warm_start: bool,
 }
 
 impl Default for LanczosOptions {
@@ -45,8 +51,59 @@ impl Default for LanczosOptions {
             tolerance: 1e-10,
             seed: 0x5eed_c0de,
             dense_cutoff: 32,
+            warm_start: false,
         }
     }
+}
+
+/// Reusable buffers for repeated Lanczos solves.
+///
+/// The recurrence needs one length-`n` vector per Krylov step plus two
+/// working vectors; a cold run allocates them all. Threading one
+/// `LanczosScratch` through repeated [`lanczos_with`] /
+/// [`smallest_eigenpairs_with`] calls recycles every retired basis
+/// vector through an internal pool, so a warm solve at the same (or
+/// smaller) dimension performs **zero** heap allocations in the
+/// recurrence — the property `tests/alloc_budget.rs` pins.
+#[derive(Debug, Default)]
+pub struct LanczosScratch {
+    alphas: Vec<f64>,
+    betas: Vec<f64>,
+    basis: Vec<Vec<f64>>,
+    pool: Vec<Vec<f64>>,
+}
+
+impl LanczosScratch {
+    /// An empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the previous run's basis vectors back into the pool.
+    fn retire(&mut self) {
+        self.pool.append(&mut self.basis);
+    }
+
+    /// Checks a zeroed length-`n` buffer out of the pool (allocating
+    /// only when the pool is dry or too small).
+    fn checkout(&mut self, n: usize) -> Vec<f64> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(n, 0.0);
+        buf
+    }
+}
+
+/// Borrowed view of one Lanczos run living inside a
+/// [`LanczosScratch`] — the zero-copy analogue of [`LanczosResult`].
+#[derive(Debug)]
+pub struct LanczosRun<'a> {
+    /// Diagonal of `T`.
+    pub alphas: &'a [f64],
+    /// Sub-diagonal of `T` (one shorter than `alphas`).
+    pub betas: &'a [f64],
+    /// Orthonormal basis vectors spanning the Krylov space.
+    pub basis: &'a [Vec<f64>],
 }
 
 /// Raw output of the Lanczos recurrence: `T = tridiag(beta, alpha,
@@ -63,7 +120,7 @@ pub struct LanczosResult {
 }
 
 /// SplitMix64 — deterministic start vectors without a rand dependency.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -71,12 +128,13 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn random_unit_vector(n: usize, seed: &mut u64) -> Vec<f64> {
-    let mut v: Vec<f64> = (0..n)
-        .map(|_| (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
-        .collect();
-    normalize(&mut v);
-    v
+/// Fills `v` with the deterministic pseudo-random unit vector —
+/// allocation-free so the recurrence can recycle its buffers.
+fn random_unit_vector_into(v: &mut [f64], seed: &mut u64) {
+    for x in v.iter_mut() {
+        *x = (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+    normalize(v);
 }
 
 /// Runs the Lanczos recurrence with full re-orthogonalisation for up to
@@ -109,12 +167,46 @@ pub fn lanczos_traced<A: SymOp>(
     opts: &LanczosOptions,
     sink: &dyn TraceSink,
 ) -> Result<LanczosResult, LinalgError> {
+    let mut scratch = LanczosScratch::new();
+    let run = lanczos_with(op, steps, opts, None, sink, &mut scratch)?;
+    Ok(LanczosResult {
+        alphas: run.alphas.to_vec(),
+        betas: run.betas.to_vec(),
+        basis: run.basis.to_vec(),
+    })
+}
+
+/// [`lanczos_traced`] running entirely inside a caller-owned
+/// [`LanczosScratch`]: the returned [`LanczosRun`] borrows the arena,
+/// and a warm re-run at the same dimension performs no heap
+/// allocations in the recurrence.
+///
+/// `warm` optionally seeds the first Krylov direction; it is honoured
+/// only when `opts.warm_start` is set *and* its length matches the
+/// operator (and it is not numerically zero) — otherwise the usual
+/// seeded pseudo-random start vector is used, keeping results
+/// bit-identical to [`lanczos`].
+///
+/// # Errors
+///
+/// Same as [`lanczos`].
+pub fn lanczos_with<'s, A: SymOp>(
+    op: &A,
+    steps: usize,
+    opts: &LanczosOptions,
+    warm: Option<&[f64]>,
+    sink: &dyn TraceSink,
+    scratch: &'s mut LanczosScratch,
+) -> Result<LanczosRun<'s>, LinalgError> {
     let n = op.dim();
+    scratch.retire();
+    scratch.alphas.clear();
+    scratch.betas.clear();
     if n == 0 {
-        return Ok(LanczosResult {
-            alphas: vec![],
-            betas: vec![],
-            basis: vec![],
+        return Ok(LanczosRun {
+            alphas: &scratch.alphas,
+            betas: &scratch.betas,
+            basis: &scratch.basis,
         });
     }
     if steps == 0 {
@@ -125,58 +217,70 @@ pub fn lanczos_traced<A: SymOp>(
     }
     let m = steps.min(n);
     let mut seed = opts.seed;
-    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut alphas = Vec::with_capacity(m);
-    let mut betas = Vec::with_capacity(m.saturating_sub(1));
-
-    let mut v = random_unit_vector(n, &mut seed);
-    let mut w = vec![0.0; n];
+    scratch.alphas.reserve(m);
+    scratch.betas.reserve(m.saturating_sub(1));
+    scratch.basis.reserve(m);
     let breakdown_tol = 1e-12;
+
+    let mut v = scratch.checkout(n);
+    match warm {
+        Some(w0) if opts.warm_start && w0.len() == n => {
+            v.copy_from_slice(w0);
+            if normalize(&mut v) <= breakdown_tol {
+                random_unit_vector_into(&mut v, &mut seed);
+            }
+        }
+        _ => random_unit_vector_into(&mut v, &mut seed),
+    }
+    let mut w = scratch.checkout(n);
     let mut restarts = 0u64;
 
-    while basis.len() < m {
+    while scratch.basis.len() < m {
         op.apply(&v, &mut w);
         let alpha = dot(&v, &w);
-        alphas.push(alpha);
+        scratch.alphas.push(alpha);
         axpy(-alpha, &v, &mut w);
-        if let Some(prev) = basis.last() {
-            let beta_prev = *betas.last().unwrap_or(&0.0);
+        if let Some(prev) = scratch.basis.last() {
+            let beta_prev = *scratch.betas.last().unwrap_or(&0.0);
             axpy(-beta_prev, prev, &mut w);
         }
-        basis.push(std::mem::replace(&mut v, vec![0.0; n]));
-        if basis.len() == m {
+        let recycled = scratch.checkout(n);
+        scratch.basis.push(std::mem::replace(&mut v, recycled));
+        if scratch.basis.len() == m {
             break;
         }
         // full re-orthogonalisation, twice for stability
-        orthogonalize_against(&mut w, &basis);
-        orthogonalize_against(&mut w, &basis);
+        orthogonalize_against(&mut w, &scratch.basis);
+        orthogonalize_against(&mut w, &scratch.basis);
         let beta = normalize(&mut w);
         if beta <= breakdown_tol {
             // invariant subspace exhausted: restart in a fresh direction
-            let mut fresh = random_unit_vector(n, &mut seed);
-            orthogonalize_against(&mut fresh, &basis);
-            orthogonalize_against(&mut fresh, &basis);
-            let r = normalize(&mut fresh);
+            random_unit_vector_into(&mut v, &mut seed);
+            orthogonalize_against(&mut v, &scratch.basis);
+            orthogonalize_against(&mut v, &scratch.basis);
+            let r = normalize(&mut v);
             if r <= breakdown_tol {
                 break; // the whole space is spanned
             }
             restarts += 1;
-            betas.push(0.0);
-            v = fresh;
+            scratch.betas.push(0.0);
+            w.fill(0.0);
         } else {
-            betas.push(beta);
-            v = std::mem::take(&mut w);
+            scratch.betas.push(beta);
+            std::mem::swap(&mut v, &mut w);
+            w.fill(0.0);
         }
-        w = vec![0.0; n];
     }
-    sink.counter_add("lanczos.iterations", alphas.len() as u64);
+    scratch.pool.push(v);
+    scratch.pool.push(w);
+    sink.counter_add("lanczos.iterations", scratch.alphas.len() as u64);
     if restarts > 0 {
         sink.counter_add("lanczos.restarts", restarts);
     }
-    Ok(LanczosResult {
-        alphas,
-        betas,
-        basis,
+    Ok(LanczosRun {
+        alphas: &scratch.alphas,
+        betas: &scratch.betas,
+        basis: &scratch.basis,
     })
 }
 
@@ -227,6 +331,30 @@ pub fn smallest_eigenpairs_traced<A: SymOp>(
     opts: &LanczosOptions,
     sink: &dyn TraceSink,
 ) -> Result<Vec<Eigenpair>, LinalgError> {
+    let mut scratch = LanczosScratch::new();
+    smallest_eigenpairs_with(op, k, opts, None, sink, &mut scratch)
+}
+
+/// [`smallest_eigenpairs_traced`] with a caller-owned
+/// [`LanczosScratch`] and an optional warm-start vector.
+///
+/// The Krylov recurrence recycles `scratch`'s buffer pool, so repeated
+/// solves stop allocating once the arena is warm. `warm` seeds the
+/// first Krylov direction when `opts.warm_start` is set (see
+/// [`lanczos_with`]); with the flag off the result is bit-identical to
+/// [`smallest_eigenpairs`].
+///
+/// # Errors
+///
+/// Same as [`smallest_eigenpairs`].
+pub fn smallest_eigenpairs_with<A: SymOp>(
+    op: &A,
+    k: usize,
+    opts: &LanczosOptions,
+    warm: Option<&[f64]>,
+    sink: &dyn TraceSink,
+    scratch: &mut LanczosScratch,
+) -> Result<Vec<Eigenpair>, LinalgError> {
     let n = op.dim();
     if k > n {
         return Err(LinalgError::TooManyEigenpairs {
@@ -255,11 +383,20 @@ pub fn smallest_eigenpairs_traced<A: SymOp>(
             .collect());
     }
 
+    // `warm_start` opts into the incremental hot path: the Krylov
+    // basis grows step by step with cheap eigenvalue-only convergence
+    // checks instead of the restart-ladder below, so the solve stops at
+    // the smallest sufficient dimension and never recomputes a prefix.
+    // With the flag off the historical schedule runs bit-identically.
+    if opts.warm_start {
+        return solve_incremental(op, k, opts, warm, sink, scratch);
+    }
+
     // grow the Krylov space in bursts, testing convergence between them
     let mut dim = (4 * k + 20).min(n);
     loop {
-        let run = lanczos_traced(op, dim, opts, sink)?;
-        let t = tridiagonal_eigen(&run.alphas, &run.betas)?;
+        let run = lanczos_with(op, dim, opts, warm, sink, scratch)?;
+        let t = tridiagonal_eigen(run.alphas, run.betas)?;
         let m = run.alphas.len();
         if m >= k {
             // Ritz residual estimate: |beta_m * s[m-1]| per pair; when the
@@ -310,6 +447,164 @@ pub fn smallest_eigenpairs_traced<A: SymOp>(
             });
         }
         dim = (dim * 2).min(opts.max_dim.min(n));
+    }
+}
+
+/// The `warm_start` hot path of [`smallest_eigenpairs_with`]: one
+/// continuous Lanczos recurrence (optionally seeded by `warm`) with
+/// geometric convergence checkpoints. Each checkpoint costs `O(m²)`
+/// (eigenvalues-only QL plus `k` inverse-iteration vectors) instead of
+/// the `O(m³)` full tridiagonal decomposition, and no prefix of the
+/// recurrence is ever recomputed — the two properties that make the
+/// recursive bisection front-end fast.
+///
+/// Convergence uses the same Ritz-residual criterion as the cold path
+/// (`beta · |s[m-1]| ≤ tolerance`), with the genuine next `beta` rather
+/// than the previous step's, so accepted pairs are at least as
+/// converged as the cold solver's.
+fn solve_incremental<A: SymOp>(
+    op: &A,
+    k: usize,
+    opts: &LanczosOptions,
+    warm: Option<&[f64]>,
+    sink: &dyn TraceSink,
+    scratch: &mut LanczosScratch,
+) -> Result<Vec<Eigenpair>, LinalgError> {
+    let n = op.dim();
+    let cap = opts.max_dim.min(n).max(k);
+    scratch.retire();
+    scratch.alphas.clear();
+    scratch.betas.clear();
+    let mut seed = opts.seed;
+    let breakdown_tol = 1e-12;
+
+    let mut v = scratch.checkout(n);
+    let warm_seeded = matches!(warm, Some(w0) if w0.len() == n);
+    match warm {
+        Some(w0) if warm_seeded => {
+            v.copy_from_slice(w0);
+            if normalize(&mut v) <= breakdown_tol {
+                random_unit_vector_into(&mut v, &mut seed);
+            }
+        }
+        _ => random_unit_vector_into(&mut v, &mut seed),
+    }
+    let mut w = scratch.checkout(n);
+    let mut restarts = 0u64;
+    // a warm seed is already near the target eigenvector, so start
+    // checking earlier than the cold burst size
+    let mut next_check = if warm_seeded {
+        (2 * k + 8).min(cap)
+    } else {
+        (4 * k + 20).min(cap)
+    };
+
+    loop {
+        // one recurrence step — same arithmetic as `lanczos_with`
+        op.apply(&v, &mut w);
+        let alpha = dot(&v, &w);
+        scratch.alphas.push(alpha);
+        axpy(-alpha, &v, &mut w);
+        if let Some(prev) = scratch.basis.last() {
+            let beta_prev = *scratch.betas.last().unwrap_or(&0.0);
+            axpy(-beta_prev, prev, &mut w);
+        }
+        let recycled = scratch.checkout(n);
+        scratch.basis.push(std::mem::replace(&mut v, recycled));
+        let m = scratch.basis.len();
+        let mut spanned = m >= cap;
+        if !spanned {
+            orthogonalize_against(&mut w, &scratch.basis);
+            orthogonalize_against(&mut w, &scratch.basis);
+            let beta = normalize(&mut w);
+            if beta <= breakdown_tol {
+                random_unit_vector_into(&mut v, &mut seed);
+                orthogonalize_against(&mut v, &scratch.basis);
+                orthogonalize_against(&mut v, &scratch.basis);
+                if normalize(&mut v) <= breakdown_tol {
+                    spanned = true; // the whole space is spanned
+                } else {
+                    restarts += 1;
+                    scratch.betas.push(0.0);
+                    w.fill(0.0);
+                }
+            } else {
+                scratch.betas.push(beta);
+                std::mem::swap(&mut v, &mut w);
+                w.fill(0.0);
+            }
+        }
+
+        if m >= k && (m >= next_check || spanned) {
+            let vals = tridiagonal_eigenvalues(&scratch.alphas, &scratch.betas[..m - 1])?;
+            // the genuine next beta when the recurrence prepared one
+            // (betas.len() == m), the cold-path estimate beta_{m-1}
+            // when stopped at the cap (betas.len() == m - 1)
+            let beta_last = if m < n {
+                scratch.betas.last().copied().unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            let threshold = opts.tolerance.max(1e-14 * vals[k - 1].abs());
+            let mut svecs: Vec<Vec<f64>> = Vec::with_capacity(k);
+            let mut converged = true;
+            for val in vals.iter().take(k) {
+                let s = tridiagonal_eigenvector(
+                    &scratch.alphas,
+                    &scratch.betas[..m - 1],
+                    *val,
+                    &svecs,
+                )?;
+                converged &= beta_last * s[m - 1].abs() <= threshold;
+                svecs.push(s);
+            }
+            if sink.enabled() {
+                let residual = svecs
+                    .iter()
+                    .map(|s| beta_last * s[m - 1].abs())
+                    .fold(0.0f64, f64::max);
+                sink.event(
+                    "lanczos.burst",
+                    &[
+                        ("dim", FieldValue::from(m)),
+                        ("residual", FieldValue::from(residual)),
+                        ("converged", FieldValue::from(converged || spanned)),
+                    ],
+                );
+            }
+            if converged || spanned {
+                scratch.pool.push(v);
+                scratch.pool.push(w);
+                sink.counter_add("lanczos.iterations", m as u64);
+                if restarts > 0 {
+                    sink.counter_add("lanczos.restarts", restarts);
+                }
+                if !converged {
+                    return Err(LinalgError::NoConvergence {
+                        iterations: m,
+                        residual: scratch.betas.last().copied().unwrap_or(0.0),
+                    });
+                }
+                sink.counter_add("lanczos.solves", 1);
+                let mut out = Vec::with_capacity(k);
+                for (val, s) in vals.iter().take(k).zip(&svecs) {
+                    let mut x = vec![0.0; n];
+                    for (j, b) in scratch.basis.iter().enumerate() {
+                        axpy(s[j], b, &mut x);
+                    }
+                    normalize(&mut x);
+                    out.push(Eigenpair {
+                        value: *val,
+                        vector: x,
+                    });
+                }
+                return Ok(out);
+            }
+            // grow ~1/3 before the next check: geometric enough to
+            // amortise the O(m²) eigenvalue sweep, fine enough to stop
+            // near the minimal sufficient dimension
+            next_check = (m + (m / 3).max(8)).min(cap);
+        }
     }
 }
 
@@ -476,6 +771,114 @@ mod tests {
         let b = smallest_eigenpairs(&l, 2, &opts).unwrap();
         assert_eq!(a[1].value.to_bits(), b[1].value.to_bits());
         assert_eq!(a[1].vector, b[1].vector);
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_plain_path() {
+        let l = path_laplacian(50);
+        let opts = LanczosOptions {
+            dense_cutoff: 0,
+            ..LanczosOptions::default()
+        };
+        let plain = smallest_eigenpairs(&l, 2, &opts).unwrap();
+        let mut scratch = LanczosScratch::new();
+        // a stale warm vector must be ignored while warm_start is off
+        let stale = vec![1.0; 50];
+        for _ in 0..3 {
+            let warm = smallest_eigenpairs_with(
+                &l,
+                2,
+                &opts,
+                Some(&stale),
+                &mec_obs::NullSink,
+                &mut scratch,
+            )
+            .unwrap();
+            for (a, b) in plain.iter().zip(&warm) {
+                assert_eq!(a.value.to_bits(), b.value.to_bits());
+                assert_eq!(a.vector, b.vector);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_survives_dimension_changes() {
+        let mut scratch = LanczosScratch::new();
+        for n in [40usize, 12, 64, 12] {
+            let l = path_laplacian(n);
+            let opts = LanczosOptions {
+                dense_cutoff: 0,
+                ..LanczosOptions::default()
+            };
+            let pairs =
+                smallest_eigenpairs_with(&l, 2, &opts, None, &mec_obs::NullSink, &mut scratch)
+                    .unwrap();
+            let expected = 2.0 - 2.0 * (std::f64::consts::PI / n as f64).cos();
+            assert!((pairs[1].value - expected).abs() < 1e-7, "n={n}");
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_to_the_same_pairs() {
+        let l = path_laplacian(70);
+        let cold_opts = LanczosOptions {
+            dense_cutoff: 0,
+            ..LanczosOptions::default()
+        };
+        let cold = smallest_eigenpairs(&l, 2, &cold_opts).unwrap();
+        let warm_opts = LanczosOptions {
+            dense_cutoff: 0,
+            warm_start: true,
+            ..LanczosOptions::default()
+        };
+        let mut scratch = LanczosScratch::new();
+        let warm = smallest_eigenpairs_with(
+            &l,
+            2,
+            &warm_opts,
+            Some(&cold[1].vector),
+            &mec_obs::NullSink,
+            &mut scratch,
+        )
+        .unwrap();
+        assert!((warm[1].value - cold[1].value).abs() < 1e-7);
+        let dot_abs = dot(&warm[1].vector, &cold[1].vector).abs();
+        assert!((dot_abs - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn warm_start_ignores_mismatched_or_zero_seeds() {
+        let l = path_laplacian(50);
+        let opts = LanczosOptions {
+            dense_cutoff: 0,
+            warm_start: true,
+            ..LanczosOptions::default()
+        };
+        let plain = smallest_eigenpairs(
+            &l,
+            2,
+            &LanczosOptions {
+                dense_cutoff: 0,
+                ..LanczosOptions::default()
+            },
+        )
+        .unwrap();
+        let mut scratch = LanczosScratch::new();
+        // wrong length → random start; the incremental hot path still
+        // converges to the same eigenpair (alignment up to sign)
+        let short = vec![1.0; 7];
+        let a =
+            smallest_eigenpairs_with(&l, 2, &opts, Some(&short), &mec_obs::NullSink, &mut scratch)
+                .unwrap();
+        assert!((a[1].value - plain[1].value).abs() < 1e-8);
+        assert!(dot(&a[1].vector, &plain[1].vector).abs() > 1.0 - 1e-8);
+        // an all-zero warm vector cannot be normalised → random start
+        let zero = vec![0.0; 50];
+        let b =
+            smallest_eigenpairs_with(&l, 2, &opts, Some(&zero), &mec_obs::NullSink, &mut scratch)
+                .unwrap();
+        assert!((b[1].value - plain[1].value).abs() < 1e-8);
+        assert!(dot(&b[1].vector, &plain[1].vector).abs() > 1.0 - 1e-8);
     }
 
     #[test]

@@ -68,13 +68,13 @@ pub use dense::{jacobi_eigen, DenseMatrix, JacobiOptions};
 pub use error::LinalgError;
 pub use householder::{householder_eigen, householder_tridiagonalize, HouseholderReduction};
 pub use lanczos::{
-    lanczos, lanczos_traced, smallest_eigenpairs, smallest_eigenpairs_traced, Eigenpair,
-    LanczosOptions, LanczosResult,
+    lanczos, lanczos_traced, lanczos_with, smallest_eigenpairs, smallest_eigenpairs_traced,
+    smallest_eigenpairs_with, Eigenpair, LanczosOptions, LanczosResult, LanczosRun, LanczosScratch,
 };
 pub use power::{largest_eigenpair, PowerOptions};
 pub use refine::{refine_eigenpair, residual_norm, RefineOptions};
 pub use sparse::CsrMatrix;
-pub use tridiag::tridiagonal_eigen;
+pub use tridiag::{tridiagonal_eigen, tridiagonal_eigenvalues, tridiagonal_eigenvector};
 
 /// A real symmetric linear operator: everything the iterative solvers
 /// need to know about a matrix.

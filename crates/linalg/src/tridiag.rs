@@ -141,6 +141,244 @@ pub fn tridiagonal_eigen(diag: &[f64], off: &[f64]) -> Result<TridiagonalEigen, 
     Ok(TridiagonalEigen { values, vectors })
 }
 
+/// Computes only the eigenvalues (ascending) of the symmetric
+/// tridiagonal matrix — the same implicit-QL sweeps as
+/// [`tridiagonal_eigen`] without eigenvector accumulation, so the cost
+/// drops from cubic to quadratic in the dimension. This is what makes
+/// frequent convergence checks affordable in the incremental Lanczos
+/// hot path.
+///
+/// # Errors
+///
+/// Same as [`tridiagonal_eigen`].
+pub fn tridiagonal_eigenvalues(diag: &[f64], off: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = diag.len();
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    if off.len() + 1 != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n - 1,
+            actual: off.len(),
+        });
+    }
+    let mut d = diag.to_vec();
+    let mut e = Vec::with_capacity(n);
+    e.extend_from_slice(off);
+    e.push(0.0);
+
+    const MAX_SWEEPS: usize = 50;
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_SWEEPS {
+                return Err(LinalgError::NoConvergence {
+                    iterations: iter,
+                    residual: e[l].abs(),
+                });
+            }
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).expect("eigenvalues are finite"));
+    Ok(d)
+}
+
+/// Computes the unit eigenvector of the symmetric tridiagonal matrix
+/// for the (approximate) eigenvalue `lambda` by inverse iteration,
+/// re-orthogonalising against `ortho` each pass so clustered
+/// eigenvalues yield independent vectors (pass the vectors already
+/// extracted for earlier eigenvalues of the cluster). Deterministic:
+/// the start vector is the constant vector, and the returned vector's
+/// first non-negligible component is positive.
+///
+/// Cost is `O(n)` per call — the factorisation is a tridiagonal
+/// Gaussian elimination with partial pivoting.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] when `off.len() + 1 != diag.len()`.
+pub fn tridiagonal_eigenvector(
+    diag: &[f64],
+    off: &[f64],
+    lambda: f64,
+    ortho: &[Vec<f64>],
+) -> Result<Vec<f64>, LinalgError> {
+    let n = diag.len();
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    if off.len() + 1 != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n - 1,
+            actual: off.len(),
+        });
+    }
+    let scale = diag
+        .iter()
+        .chain(off)
+        .fold(1.0f64, |acc, &x| acc.max(x.abs()));
+    let tiny = f64::EPSILON * scale;
+    let accept = f64::EPSILON * scale * 64.0;
+
+    // U factors of P(T - lambda I): diagonal, first and second
+    // superdiagonals (the second fills in under row swaps)
+    let mut u = vec![0.0; n];
+    let mut s1 = vec![0.0; n];
+    let mut s2 = vec![0.0; n];
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    // attempt 0 starts from the constant vector; later attempts use
+    // deterministic pseudo-random starts so that clustered eigenvalues
+    // always expose a component along the remaining null direction
+    'attempts: for attempt in 0u64..4 {
+        let mut x = vec![0.0; n];
+        if attempt == 0 {
+            x.fill(1.0 / (n as f64).sqrt());
+        } else {
+            let mut state = 0x7421_d1a6u64 ^ (attempt.wrapping_mul(0x9e37_79b9));
+            for xi in x.iter_mut() {
+                *xi = (crate::lanczos::splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64
+                    - 0.5;
+            }
+        }
+        for o in ortho {
+            let proj = crate::vector::dot(&x, o);
+            crate::vector::axpy(-proj, o, &mut x);
+        }
+        if crate::vector::normalize(&mut x) <= f64::MIN_POSITIVE {
+            continue 'attempts;
+        }
+        for _ in 0..3 {
+            // refactor per pass: O(n), cheaper than caching swap state
+            let mut p = diag[0] - lambda;
+            let mut q = if n > 1 { off[0] } else { 0.0 };
+            let mut r = 0.0;
+            for i in 0..n - 1 {
+                let a = off[i];
+                let b = diag[i + 1] - lambda;
+                let c = if i + 1 < n - 1 { off[i + 1] } else { 0.0 };
+                let (pp, qq, rr, aa, bb, cc) = if a.abs() > p.abs() {
+                    x.swap(i, i + 1);
+                    (a, b, c, p, q, r)
+                } else {
+                    (p, q, r, a, b, c)
+                };
+                let pivot = if pp.abs() <= tiny {
+                    tiny.copysign(pp + f64::MIN_POSITIVE)
+                } else {
+                    pp
+                };
+                let mult = aa / pivot;
+                x[i + 1] -= mult * x[i];
+                u[i] = pivot;
+                s1[i] = qq;
+                s2[i] = rr;
+                p = bb - mult * qq;
+                q = cc - mult * rr;
+                r = 0.0;
+            }
+            u[n - 1] = if p.abs() <= tiny {
+                tiny.copysign(p + f64::MIN_POSITIVE)
+            } else {
+                p
+            };
+            s1[n - 1] = 0.0;
+            s2[n - 1] = 0.0;
+            // back substitution
+            for i in (0..n).rev() {
+                let mut acc = x[i];
+                if i + 1 < n {
+                    acc -= s1[i] * x[i + 1];
+                }
+                if i + 2 < n {
+                    acc -= s2[i] * x[i + 2];
+                }
+                x[i] = acc / u[i];
+            }
+            for o in ortho {
+                let proj = crate::vector::dot(&x, o);
+                crate::vector::axpy(-proj, o, &mut x);
+            }
+            if crate::vector::normalize(&mut x) <= f64::MIN_POSITIVE {
+                continue 'attempts;
+            }
+        }
+        // score the attempt by its true residual ||T x - lambda x||
+        let mut res = 0.0f64;
+        for i in 0..n {
+            let mut acc = (diag[i] - lambda) * x[i];
+            if i > 0 {
+                acc += off[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                acc += off[i] * x[i + 1];
+            }
+            res += acc * acc;
+        }
+        let res = res.sqrt();
+        if best.as_ref().is_none_or(|(b, _)| res < *b) {
+            best = Some((res, x));
+        }
+        if res <= accept {
+            break;
+        }
+    }
+    let mut x = match best {
+        Some((_, x)) => x,
+        // every start was annihilated: `ortho` spans the space
+        None => vec![0.0; n],
+    };
+    if let Some(first) = x.iter().find(|v| v.abs() > tiny) {
+        if *first < 0.0 {
+            for v in &mut x {
+                *v = -*v;
+            }
+        }
+    }
+    Ok(x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +475,65 @@ mod tests {
         assert!((eig.values[0] - 1.0).abs() < 1e-14);
         assert!((eig.values[1] - 2.0).abs() < 1e-14);
         assert!((eig.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn eigenvalues_only_matches_full_decomposition() {
+        let n = 25;
+        let diag: Vec<f64> = (0..n).map(|i| 2.0 + ((i * 31) % 5) as f64 * 0.3).collect();
+        let off: Vec<f64> = (0..n - 1)
+            .map(|i| -1.0 + ((i * 17) % 3) as f64 * 0.2)
+            .collect();
+        let full = tridiagonal_eigen(&diag, &off).unwrap();
+        let vals = tridiagonal_eigenvalues(&diag, &off).unwrap();
+        assert_eq!(vals.len(), n);
+        for (a, b) in vals.iter().zip(&full.values) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn inverse_iteration_recovers_eigenvectors() {
+        let n = 30;
+        let diag = vec![2.0; n];
+        let off = vec![-1.0; n - 1];
+        let vals = tridiagonal_eigenvalues(&diag, &off).unwrap();
+        let mut found: Vec<Vec<f64>> = vec![];
+        for &lam in vals.iter().take(3) {
+            let v = tridiagonal_eigenvector(&diag, &off, lam, &found).unwrap();
+            assert!(residual(&diag, &off, lam, &v) < 1e-8, "lambda {lam}");
+            assert!((norm(&v) - 1.0).abs() < 1e-12);
+            for prev in &found {
+                assert!(dot(&v, prev).abs() < 1e-8, "not orthogonal");
+            }
+            found.push(v);
+        }
+    }
+
+    #[test]
+    fn inverse_iteration_separates_a_degenerate_cluster() {
+        // block-diagonal: two uncoupled copies of [[2,-1],[-1,2]] give
+        // each eigenvalue multiplicity 2
+        let diag = vec![2.0, 2.0, 2.0, 2.0];
+        let off = vec![-1.0, 0.0, -1.0];
+        let vals = tridiagonal_eigenvalues(&diag, &off).unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-12 && (vals[1] - 1.0).abs() < 1e-12);
+        let v0 = tridiagonal_eigenvector(&diag, &off, vals[0], &[]).unwrap();
+        let v1 = tridiagonal_eigenvector(&diag, &off, vals[1], std::slice::from_ref(&v0)).unwrap();
+        assert!(residual(&diag, &off, 1.0, &v0) < 1e-8);
+        assert!(residual(&diag, &off, 1.0, &v1) < 1e-8);
+        assert!(dot(&v0, &v1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inverse_iteration_is_deterministic_and_sign_canonical() {
+        let diag = vec![3.0, 1.0, 4.0, 1.0, 5.0];
+        let off = vec![0.9, -0.2, 0.6, -0.3];
+        let vals = tridiagonal_eigenvalues(&diag, &off).unwrap();
+        let a = tridiagonal_eigenvector(&diag, &off, vals[0], &[]).unwrap();
+        let b = tridiagonal_eigenvector(&diag, &off, vals[0], &[]).unwrap();
+        assert_eq!(a, b);
+        assert!(*a.iter().find(|v| v.abs() > 1e-9).unwrap() > 0.0);
     }
 
     #[test]

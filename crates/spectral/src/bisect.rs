@@ -1,11 +1,19 @@
 //! Fiedler-vector bipartitioning.
 
-use crate::{GraphLaplacian, SpectralError};
+use crate::laplacian::CsrLaplacian;
+use crate::{CutScratch, SpectralError};
 use mec_engine::{Cluster, ParallelLaplacian};
-use mec_graph::{Bipartition, Graph, Side};
-use mec_linalg::{smallest_eigenpairs_traced, LanczosOptions};
+use mec_graph::{Bipartition, CsrAdjacency, Graph, NodeId, Side};
+use mec_linalg::{smallest_eigenpairs_with, Eigenpair, LanczosOptions};
 use mec_obs::{FieldValue, TraceSink};
 use std::sync::Arc;
+
+/// Default node count below which a cluster-configured bisector still
+/// solves serially: shipping a 3-node Laplacian to the pool costs more
+/// than the product itself. Matches the eigensolver's dense cutoff —
+/// below it Lanczos never iterates, so a distributed operator would
+/// only pay stage round-trips without amortising them.
+pub(crate) const DEFAULT_SERIAL_CUTOFF: usize = 32;
 
 /// How the Fiedler vector is turned into two node sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,12 +63,25 @@ pub struct SpectralCut {
 /// The eigensolver can run serially or with its matrix-vector products
 /// sharded over a [`Cluster`] — the paper's Spark configuration
 /// (`with_cluster`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SpectralBisector {
     lanczos: LanczosOptions,
     split: SplitRule,
     cluster: Option<(Arc<Cluster>, usize)>,
+    serial_cutoff: usize,
     sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl Default for SpectralBisector {
+    fn default() -> Self {
+        SpectralBisector {
+            lanczos: LanczosOptions::default(),
+            split: SplitRule::default(),
+            cluster: None,
+            serial_cutoff: DEFAULT_SERIAL_CUTOFF,
+            sink: None,
+        }
+    }
 }
 
 impl SpectralBisector {
@@ -96,6 +117,16 @@ impl SpectralBisector {
         self
     }
 
+    /// Node count below which a cluster-configured bisector solves
+    /// serially anyway (default 32). The cluster and serial backends
+    /// produce bit-identical Laplacian products — row contents and
+    /// accumulation order match — so the threshold changes wall-time
+    /// only, never the cut. Set to `0` to always use the cluster.
+    pub fn serial_cutoff(mut self, nodes: usize) -> Self {
+        self.serial_cutoff = nodes;
+        self
+    }
+
     /// `true` when a cluster backend is configured.
     pub fn is_parallel(&self) -> bool {
         self.cluster.is_some()
@@ -122,11 +153,35 @@ impl SpectralBisector {
     /// - [`SpectralError::Eigensolver`] if the Fiedler pair cannot be
     ///   computed.
     pub fn bisect(&self, g: &Graph) -> Result<SpectralCut, SpectralError> {
+        self.bisect_reusing(g, &mut CutScratch::new())
+    }
+
+    /// [`bisect`](SpectralBisector::bisect) with a caller-owned
+    /// [`CutScratch`] arena: the CSR snapshot, Krylov basis, and sweep
+    /// buffers are recycled across calls, so every cut after the first
+    /// is allocation-free in the eigensolver's inner loop.
+    ///
+    /// A warm-start seed previously staged via
+    /// [`CutScratch::stage_warm_start`] is consumed by this call and
+    /// honoured only when the bisector's `LanczosOptions::warm_start`
+    /// is set; with the flag off the result is bit-identical to
+    /// [`bisect`](SpectralBisector::bisect).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`bisect`](SpectralBisector::bisect).
+    pub fn bisect_reusing(
+        &self,
+        g: &Graph,
+        scratch: &mut CutScratch,
+    ) -> Result<SpectralCut, SpectralError> {
         let n = g.node_count();
         if n == 0 {
+            scratch.clear_warm_start();
             return Err(SpectralError::EmptyGraph);
         }
         if n == 1 {
+            scratch.clear_warm_start();
             let partition = Bipartition::uniform(1, Side::Remote);
             return Ok(SpectralCut {
                 partition,
@@ -139,23 +194,39 @@ impl SpectralBisector {
             Some(s) => s.as_ref(),
             None => &mec_obs::NullSink,
         };
-        let pairs = match &self.cluster {
-            None => {
-                let l = GraphLaplacian::new(g);
-                smallest_eigenpairs_traced(&l, 2, &self.lanczos, sink)?
-            }
-            Some((cluster, blocks)) => {
-                let edges: Vec<(usize, usize, f64)> = g
-                    .edges()
-                    .map(|e| (e.source.index(), e.target.index(), e.weight))
-                    .collect();
-                let l = ParallelLaplacian::from_edges(Arc::clone(cluster), n, &edges, *blocks)
-                    .expect("block count is at least 1");
-                smallest_eigenpairs_traced(&l, 2, &self.lanczos, sink)?
-            }
+        // Below the cutoff the serial CSR kernel beats the stage
+        // round-trip; the two backends produce bit-identical products
+        // (same row contents in the same order), so this is purely a
+        // wall-time decision.
+        let use_cluster = self.cluster.is_some() && n >= self.serial_cutoff;
+        let pairs = if use_cluster {
+            let (cluster, blocks) = self.cluster.as_ref().expect("checked above");
+            let edges: Vec<(usize, usize, f64)> = g
+                .edges()
+                .map(|e| (e.source.index(), e.target.index(), e.weight))
+                .collect();
+            let l = ParallelLaplacian::from_edges(Arc::clone(cluster), n, &edges, *blocks)
+                .expect("block count is at least 1");
+            let (lanczos, warm) = scratch.lanczos_and_warm();
+            let seed = (self.lanczos.warm_start && warm.len() == n).then_some(warm);
+            smallest_eigenpairs_with(&l, 2, &self.lanczos, seed, sink, lanczos)?
+        } else {
+            scratch.csr.rebuild_from(g);
+            let CutScratch {
+                csr, lanczos, warm, ..
+            } = &mut *scratch;
+            let l = CsrLaplacian::new(csr);
+            let seed = (self.lanczos.warm_start && warm.len() == n).then_some(&warm[..]);
+            smallest_eigenpairs_with(&l, 2, &self.lanczos, seed, sink, lanczos)?
         };
-        let fiedler_value = pairs[1].value;
-        let mut fiedler_vector = pairs[1].vector.clone();
+        scratch.clear_warm_start();
+        let Eigenpair {
+            value: fiedler_value,
+            vector: mut fiedler_vector,
+        } = {
+            let mut pairs = pairs;
+            pairs.swap_remove(1)
+        };
         // canonical sign: first non-zero component positive
         if let Some(first) = fiedler_vector.iter().find(|v| v.abs() > 1e-12) {
             if *first < 0.0 {
@@ -173,7 +244,7 @@ impl SpectralBisector {
             let labeling = mec_graph::ComponentLabeling::compute(g);
             if labeling.count() >= 2 {
                 let partition = Bipartition::from_fn(n, |i| {
-                    if labeling.component_of(mec_graph::NodeId::new(i)) == 0 {
+                    if labeling.component_of(NodeId::new(i)) == 0 {
                         Side::Local
                     } else {
                         Side::Remote
@@ -189,9 +260,22 @@ impl SpectralBisector {
             }
         }
         let partition = match self.split {
-            SplitRule::RatioSweep => sweep_cut(g, &fiedler_vector, SweepObjective::RatioCut),
-            SplitRule::Sweep => sweep_cut(g, &fiedler_vector, SweepObjective::CutWeight),
-            rule => split_vector(&fiedler_vector, rule),
+            SplitRule::RatioSweep | SplitRule::Sweep => {
+                if use_cluster {
+                    // the cluster path skipped the serial CSR snapshot
+                    scratch.csr.rebuild_from(g);
+                }
+                let objective = if self.split == SplitRule::RatioSweep {
+                    SweepObjective::RatioCut
+                } else {
+                    SweepObjective::CutWeight
+                };
+                let CutScratch {
+                    csr, order, local, ..
+                } = &mut *scratch;
+                sweep_cut(csr, &fiedler_vector, objective, order, local)
+            }
+            rule => split_vector(&fiedler_vector, rule, &mut scratch.order),
         };
         let cut_weight = partition.cut_weight(g);
         emit_cut(sink, n, fiedler_value, cut_weight);
@@ -233,24 +317,37 @@ enum SweepObjective {
 /// priced incrementally and the best-scoring proper one wins. Ties in
 /// the ordering break by node id, ties in score by the more balanced
 /// split.
-fn sweep_cut(g: &Graph, v: &[f64], objective: SweepObjective) -> Bipartition {
+///
+/// Works off the CSR snapshot instead of chasing `g.neighbors` +
+/// `edge_weight` pointers per candidate prefix; CSR rows list the same
+/// neighbours in the same order, so the incremental cut accumulation
+/// is bit-identical to the pointer-chasing version. `order` and
+/// `local` are pooled scratch buffers.
+fn sweep_cut(
+    csr: &CsrAdjacency,
+    v: &[f64],
+    objective: SweepObjective,
+    order: &mut Vec<usize>,
+    local: &mut Vec<bool>,
+) -> Bipartition {
     let n = v.len();
     debug_assert!(n >= 2);
-    let mut order: Vec<usize> = (0..n).collect();
+    debug_assert_eq!(csr.node_count(), n);
+    order.clear();
+    order.extend(0..n);
     order.sort_by(|&a, &b| {
         v[a].partial_cmp(&v[b])
             .expect("components are finite")
             .then(a.cmp(&b))
     });
-    let mut local = vec![false; n];
+    local.clear();
+    local.resize(n, false);
     let mut cut = 0.0f64;
     let mut best = (f64::INFINITY, 0usize, usize::MAX); // (weight, |k - n/2| dist, k)
     for (k, &node) in order.iter().enumerate().take(n - 1) {
         // moving `node` from Remote to Local
-        let id = mec_graph::NodeId::new(node);
-        for nb in g.neighbors(id) {
-            let w = g.edge_weight(nb.edge);
-            if local[nb.node.index()] {
+        for (nb, w) in csr.row(NodeId::new(node)) {
+            if local[nb.index()] {
                 cut -= w; // edge no longer crosses
             } else {
                 cut += w; // edge starts crossing
@@ -275,7 +372,7 @@ fn sweep_cut(g: &Graph, v: &[f64], objective: SweepObjective) -> Bipartition {
     Bipartition::from_sides(sides)
 }
 
-fn split_vector(v: &[f64], rule: SplitRule) -> Bipartition {
+fn split_vector(v: &[f64], rule: SplitRule, order: &mut Vec<usize>) -> Bipartition {
     let by_sign = Bipartition::from_fn(v.len(), |i| {
         if v[i] >= 0.0 {
             Side::Remote
@@ -289,7 +386,8 @@ fn split_vector(v: &[f64], rule: SplitRule) -> Bipartition {
         }
         SplitRule::Sign if by_sign.is_proper() => by_sign,
         SplitRule::Sign | SplitRule::Median => {
-            let mut order: Vec<usize> = (0..v.len()).collect();
+            order.clear();
+            order.extend(0..v.len());
             order.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("components are finite"));
             let half = v.len() / 2;
             let mut sides = vec![Side::Remote; v.len()];
@@ -408,7 +506,7 @@ mod tests {
         let b = SpectralBisector::new();
         assert!(!b.is_parallel());
         let cluster = Arc::new(Cluster::new(2).unwrap());
-        let b2 = b.clone().with_cluster(cluster, 4);
+        let b2 = b.with_cluster(cluster, 4);
         assert!(b2.is_parallel());
         assert!(!b2.serial().is_parallel());
     }
@@ -480,5 +578,116 @@ mod tests {
             spectral.cut_weight,
             best_random
         );
+    }
+
+    #[test]
+    fn bisect_reusing_is_bit_identical_to_bisect() {
+        let mut scratch = CutScratch::new();
+        // one arena across many graphs of varying size/rule — results
+        // must match the allocating path exactly, not approximately
+        for (seed, rule) in [
+            (1u64, SplitRule::Sweep),
+            (2, SplitRule::Sign),
+            (3, SplitRule::Median),
+            (4, SplitRule::RatioSweep),
+            (5, SplitRule::Sweep),
+        ] {
+            let g = NetgenSpec::new(70 + seed as usize * 13, 220)
+                .components(1)
+                .seed(seed)
+                .generate()
+                .unwrap();
+            let b = SpectralBisector::new().split_rule(rule);
+            let fresh = b.bisect(&g).unwrap();
+            let reused = b.bisect_reusing(&g, &mut scratch).unwrap();
+            assert_eq!(fresh.partition, reused.partition, "seed {seed}");
+            assert_eq!(
+                fresh.fiedler_value.to_bits(),
+                reused.fiedler_value.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                fresh.cut_weight.to_bits(),
+                reused.cut_weight.to_bits(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_graphs_take_the_serial_path_on_a_cluster() {
+        // 30 nodes < default cutoff (32): the cluster-configured
+        // bisector must produce the serial result bit-for-bit, because
+        // it *is* the serial path below the cutoff
+        let g = NetgenSpec::new(30, 80)
+            .components(1)
+            .seed(6)
+            .generate()
+            .unwrap();
+        let serial = SpectralBisector::new().bisect(&g).unwrap();
+        let cluster = Arc::new(Cluster::new(4).unwrap());
+        let small = SpectralBisector::new()
+            .with_cluster(Arc::clone(&cluster), 4)
+            .bisect(&g)
+            .unwrap();
+        assert_eq!(serial.partition, small.partition);
+        assert_eq!(
+            serial.fiedler_value.to_bits(),
+            small.fiedler_value.to_bits()
+        );
+        // forcing the cutoff to 0 routes even this graph through the
+        // parallel operator, which is numerically identical by design
+        let forced = SpectralBisector::new()
+            .with_cluster(cluster, 4)
+            .serial_cutoff(0)
+            .bisect(&g)
+            .unwrap();
+        assert_eq!(serial.partition, forced.partition);
+    }
+
+    #[test]
+    fn staged_warm_start_changes_seed_but_not_quality() {
+        let g = NetgenSpec::new(100, 320)
+            .components(1)
+            .seed(8)
+            .generate()
+            .unwrap();
+        let cold = SpectralBisector::new().bisect(&g).unwrap();
+
+        let opts = LanczosOptions {
+            warm_start: true,
+            ..LanczosOptions::default()
+        };
+        let warm_bisector = SpectralBisector::new().lanczos_options(opts);
+        let mut scratch = CutScratch::new();
+        // seed with the cold Fiedler vector: the solve should land on
+        // the same eigenpair
+        scratch.stage_warm_start(&cold.fiedler_vector);
+        let warm = warm_bisector.bisect_reusing(&g, &mut scratch).unwrap();
+        assert!((warm.fiedler_value - cold.fiedler_value).abs() < 1e-7);
+        assert!(warm.cut_weight <= cold.cut_weight + 1e-9);
+        // the seed is consumed: the next cut is cold again and must be
+        // bit-identical to the never-warmed solve
+        let again = warm_bisector.bisect_reusing(&g, &mut scratch).unwrap();
+        let never = warm_bisector.bisect(&g).unwrap();
+        assert_eq!(again.partition, never.partition);
+        assert_eq!(again.fiedler_value.to_bits(), never.fiedler_value.to_bits());
+    }
+
+    #[test]
+    fn warm_start_off_ignores_staged_seed() {
+        let g = NetgenSpec::new(64, 180)
+            .components(1)
+            .seed(9)
+            .generate()
+            .unwrap();
+        let plain = SpectralBisector::new().bisect(&g).unwrap();
+        let mut scratch = CutScratch::new();
+        scratch.stage_warm_start(&vec![1.0; g.node_count()]);
+        let cut = SpectralBisector::new()
+            .bisect_reusing(&g, &mut scratch)
+            .unwrap();
+        assert_eq!(plain.partition, cut.partition);
+        assert_eq!(plain.fiedler_value.to_bits(), cut.fiedler_value.to_bits());
     }
 }

@@ -1,6 +1,6 @@
 //! Laplacian operators over graphs.
 
-use mec_graph::{CsrAdjacency, Graph};
+use mec_graph::{CsrAdjacency, CsrView, Graph};
 use mec_linalg::SymOp;
 
 /// The graph Laplacian `L = D − A` of a [`Graph`], as a serial
@@ -34,6 +34,57 @@ impl SymOp for GraphLaplacian {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.csr.laplacian_mul(x, y)
+    }
+}
+
+/// The Laplacian of a *borrowed* CSR snapshot — the scratch-arena
+/// variant of [`GraphLaplacian`]: the bisector rebuilds one pooled
+/// [`CsrAdjacency`] in place per cut and lends it to the eigensolver
+/// through this operator, so no CSR storage is allocated per cut.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrLaplacian<'a> {
+    csr: &'a CsrAdjacency,
+}
+
+impl<'a> CsrLaplacian<'a> {
+    /// Wraps a CSR snapshot.
+    pub fn new(csr: &'a CsrAdjacency) -> Self {
+        CsrLaplacian { csr }
+    }
+}
+
+impl SymOp for CsrLaplacian<'_> {
+    fn dim(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.csr.laplacian_mul(x, y)
+    }
+}
+
+/// The **induced** Laplacian of a [`CsrView`] — the operator the
+/// recursive bisector hands to Lanczos at every level below the root,
+/// where no owned sub-graph exists at all.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrViewLaplacian<'a> {
+    view: CsrView<'a>,
+}
+
+impl<'a> CsrViewLaplacian<'a> {
+    /// Wraps an index-space restriction.
+    pub fn new(view: CsrView<'a>) -> Self {
+        CsrViewLaplacian { view }
+    }
+}
+
+impl SymOp for CsrViewLaplacian<'_> {
+    fn dim(&self) -> usize {
+        self.view.node_count()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.view.laplacian_mul(x, y)
     }
 }
 

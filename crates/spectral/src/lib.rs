@@ -40,10 +40,14 @@
 
 mod bisect;
 mod laplacian;
+mod recursive;
+mod scratch;
 pub mod theory;
 
 pub use bisect::{SpectralBisector, SpectralCut, SplitRule};
-pub use laplacian::GraphLaplacian;
+pub use laplacian::{CsrLaplacian, CsrViewLaplacian, GraphLaplacian};
+pub use recursive::{RecursiveBisector, RecursivePartition};
+pub use scratch::CutScratch;
 
 use std::error::Error;
 use std::fmt;

@@ -135,10 +135,12 @@ pub mod channel {
         #[test]
         fn each_message_is_delivered_once() {
             let (tx, rx) = unbounded::<u32>();
-            let receivers: Vec<_> = (0..4).map(|_| rx.clone()).collect();
-            let handles: Vec<_> = receivers
-                .into_iter()
-                .map(|r| {
+            // the collect is load-bearing: all receivers must be
+            // cloned and spawned before the sends below begin
+            #[allow(clippy::needless_collect)]
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let r = rx.clone();
                     std::thread::spawn(move || {
                         let mut got = Vec::new();
                         while let Ok(v) = r.recv() {

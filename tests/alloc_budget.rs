@@ -1,0 +1,159 @@
+//! Allocation budget for the spectral hot path.
+//!
+//! The perf contract this file pins (referenced from
+//! `mec_linalg::LanczosScratch` and `mec_spectral::CutScratch` docs):
+//!
+//! - a warm [`lanczos_with`] re-run at the same dimension performs
+//!   **zero** heap allocations — the recurrence inner loop lives
+//!   entirely in pooled buffers, which is what makes recursion levels
+//!   ≥ 2 of [`RecursiveBisector::partition_reusing`] allocation-free
+//!   in the eigensolver;
+//! - a warm `partition_reusing` run allocates a small fraction of its
+//!   cold first run;
+//! - toggling `LanczosOptions::warm_start` changes wall-time only, not
+//!   cut quality.
+//!
+//! The counting allocator is process-global, so the measuring tests
+//! serialise on a mutex and take the minimum over several attempts —
+//! a concurrent harness thread can only inflate a sample, never
+//! deflate it.
+
+use copmecs::linalg::{lanczos_with, CsrMatrix, LanczosOptions, LanczosScratch};
+use copmecs::prelude::*;
+use copmecs::spectral::{CutScratch, RecursiveBisector};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates to `System` verbatim; the counter update has no
+// safety obligations.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Serialises the measuring tests: the counter is process-global.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Heap allocations performed while `f` runs (on any thread — callers
+/// hold [`MEASURE_LOCK`] and take minima to stay robust).
+fn alloc_delta(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn laplacian(nodes: usize, edges: usize, seed: u64) -> CsrMatrix {
+    let g = NetgenSpec::new(nodes, edges)
+        .components(1)
+        .seed(seed)
+        .generate()
+        .expect("generable workload");
+    let triples: Vec<(usize, usize, f64)> = g
+        .edges()
+        .map(|e| (e.source.index(), e.target.index(), e.weight))
+        .collect();
+    CsrMatrix::laplacian_from_edges(g.node_count(), &triples).expect("valid laplacian")
+}
+
+#[test]
+fn warm_lanczos_rerun_is_allocation_free() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let l = laplacian(200, 600, 17);
+    let opts = LanczosOptions::default();
+    let mut scratch = LanczosScratch::new();
+    let run = |scratch: &mut LanczosScratch| {
+        let r = lanczos_with(&l, 80, &opts, None, &copmecs::obs::NullSink, scratch).unwrap();
+        assert_eq!(r.alphas.len(), 80);
+    };
+    // two warm-ups: the first grows the pool, the second grows the
+    // pool vector itself to its high-water capacity
+    run(&mut scratch);
+    run(&mut scratch);
+    let min_delta = (0..3)
+        .map(|_| alloc_delta(|| run(&mut scratch)))
+        .min()
+        .unwrap();
+    assert_eq!(min_delta, 0, "warm Lanczos re-run must not touch the heap");
+}
+
+#[test]
+fn warm_partition_rerun_allocates_a_fraction_of_the_cold_run() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let g = NetgenSpec::new(300, 900)
+        .components(1)
+        .seed(23)
+        .generate()
+        .expect("generable workload");
+    let bisector = RecursiveBisector::new()
+        .max_depth(3)
+        .lanczos_options(LanczosOptions {
+            warm_start: true,
+            ..LanczosOptions::default()
+        });
+    let mut scratch = CutScratch::new();
+    let cold = alloc_delta(|| {
+        bisector.partition_reusing(&g, &mut scratch).unwrap();
+    });
+    // one extra warm-up so every pool reaches its high-water mark
+    bisector.partition_reusing(&g, &mut scratch).unwrap();
+    let warm = (0..3)
+        .map(|_| {
+            alloc_delta(|| {
+                bisector.partition_reusing(&g, &mut scratch).unwrap();
+            })
+        })
+        .min()
+        .unwrap();
+    // the recurrence itself is allocation-free once warm (previous
+    // test); what remains on a warm partition run is per-cut result
+    // assembly plus the small tridiagonal checkpoint workspaces, so
+    // the total must sit well below the cold run but not at zero
+    assert!(
+        warm * 4 <= cold * 3,
+        "warm run should allocate at most three quarters of the cold run, got {warm} vs {cold}"
+    );
+}
+
+#[test]
+fn warm_start_toggle_preserves_cut_quality_across_seeds() {
+    for seed in [5u64, 11, 23, 42] {
+        let g = NetgenSpec::new(260, 780)
+            .components(1)
+            .seed(seed)
+            .generate()
+            .expect("generable workload");
+        let cold = RecursiveBisector::new().max_depth(2).partition(&g).unwrap();
+        let mut scratch = CutScratch::new();
+        let warm = RecursiveBisector::new()
+            .max_depth(2)
+            .lanczos_options(LanczosOptions {
+                warm_start: true,
+                ..LanczosOptions::default()
+            })
+            .partition_reusing(&g, &mut scratch)
+            .unwrap();
+        assert_eq!(cold.parts, warm.parts, "seed {seed}");
+        let (cw, ww) = (cold.cut_weight(&g), warm.cut_weight(&g));
+        assert!(
+            (cw - ww).abs() <= 0.05 * cw.max(ww) + 1e-9,
+            "cut quality diverged at seed {seed}: cold {cw} vs warm {ww}"
+        );
+    }
+}

@@ -27,7 +27,7 @@ fn cluster_plans_are_bit_identical_across_strategies_seeds_and_workers() {
         StrategyKind::KernighanLin,
     ];
     for strategy in strategies {
-        for seed in [3u64, 91] {
+        for seed in [3u64, 57, 91] {
             let scenario = crowd(5, 60, seed);
             let serial = Offloader::builder()
                 .strategy(strategy.clone())
@@ -52,6 +52,41 @@ fn cluster_plans_are_bit_identical_across_strategies_seeds_and_workers() {
                     report.evaluation.totals.objective().to_bits(),
                     "objective diverged: strategy={} seed={seed} workers={workers}",
                     serial.strategy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spectral_parallel_plans_match_serial_spectral_bit_for_bit() {
+    // the distributed Laplacian operator accumulates rows in the same
+    // order as the serial CSR kernel, so with warm-start off (the
+    // default) the eigensolver — and therefore the whole plan — must
+    // be bit-identical at every worker and block count
+    for seed in [3u64, 57, 91] {
+        let scenario = crowd(4, 70, seed);
+        let serial = Offloader::builder()
+            .strategy(StrategyKind::Spectral)
+            .build()
+            .solve(&scenario)
+            .unwrap();
+        for workers in [1usize, 3, 8] {
+            for blocks in [1usize, 4, 16] {
+                let cluster = Arc::new(Cluster::new(workers).unwrap());
+                let report = Offloader::builder()
+                    .strategy(StrategyKind::SpectralParallel { cluster, blocks })
+                    .build()
+                    .solve(&scenario)
+                    .unwrap();
+                assert_eq!(
+                    serial.plan, report.plan,
+                    "plan diverged: seed={seed} workers={workers} blocks={blocks}"
+                );
+                assert_eq!(
+                    serial.evaluation.totals.objective().to_bits(),
+                    report.evaluation.totals.objective().to_bits(),
+                    "objective diverged: seed={seed} workers={workers} blocks={blocks}"
                 );
             }
         }
