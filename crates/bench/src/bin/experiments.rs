@@ -16,11 +16,12 @@
 use mec_bench::ablation;
 use mec_bench::energy::{self, EnergyPoint};
 use mec_bench::multiuser::{self, MultiUserConfig, MultiUserPoint};
+use mec_bench::perfgate::{self, GateStatus};
 use mec_bench::report::{normalize, render_table, write_json};
-use mec_bench::runtime::{self, FrontendSpeedup, RuntimePoint};
+use mec_bench::runtime::{self, FrontendSpeedup, RuntimePoint, WorkerUtilization};
 use mec_bench::spectral_hotpath::{self, AllocSnapshot, HotpathSpec};
 use mec_bench::{table1, DEFAULT_SEED, PAPER_SIZES, PAPER_USER_SIZES};
-use mec_obs::{Recorder, TraceSink};
+use mec_obs::{MetricsRegistry, MetricsSink, Recorder, TraceSink};
 use std::sync::Arc;
 
 /// Counting allocator so the hot-path benchmark can report allocation
@@ -69,6 +70,9 @@ struct Options {
     trace_out: Option<String>,
     workers: usize,
     bench_out: Option<String>,
+    metrics_out: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Options {
@@ -82,6 +86,9 @@ fn parse_args() -> Options {
         trace_out: None,
         workers: 4,
         bench_out: None,
+        metrics_out: None,
+        baseline: None,
+        tolerance: 0.25,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -115,6 +122,25 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| die("--bench-out needs a path")),
                 );
             }
+            "--metrics-out" => {
+                opts.metrics_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--metrics-out needs a path")),
+                );
+            }
+            "--baseline" => {
+                opts.baseline = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--baseline needs a path")),
+                );
+            }
+            "--tolerance" => {
+                opts.tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .unwrap_or_else(|| die("--tolerance needs a non-negative number"));
+            }
             cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                 opts.command = cmd.to_string();
             }
@@ -135,9 +161,9 @@ fn parse_args() -> Options {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|bench|check|all] \
+        "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|bench|perf-gate|check|all] \
          [--quick] [--extra] [--seed N] [--out DIR] [--trace-out FILE] [--workers N] \
-         [--bench-out FILE]"
+         [--bench-out FILE] [--metrics-out FILE] [--baseline FILE] [--tolerance FRAC]"
     );
     std::process::exit(2);
 }
@@ -439,11 +465,7 @@ fn run_bench(opts: &Options) {
             HotpathSpec::default()
         }
     };
-    let probe = || AllocSnapshot {
-        allocations: counting_alloc::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed),
-        allocated_bytes: counting_alloc::ALLOCATED_BYTES.load(std::sync::atomic::Ordering::Relaxed),
-        peak_bytes: counting_alloc::PEAK_BYTES.load(std::sync::atomic::Ordering::Relaxed),
-    };
+    let probe = alloc_probe;
     let report = spectral_hotpath::run(&spec, Some(&probe)).expect("hot path is benchable");
     let fmt_opt = |v: Option<u64>| v.map_or_else(|| "n/a".to_string(), |v| v.to_string());
     let rows: Vec<Vec<String>> = [&report.baseline, &report.optimized]
@@ -519,7 +541,66 @@ fn run_ablation(opts: &Options, sink: &Arc<dyn TraceSink>) {
     write_json(format!("{}/ablations.json", opts.out), &points);
 }
 
-fn run_fig9(opts: &Options, sink: &Arc<dyn TraceSink>) {
+/// The shared allocator probe for bench-style commands.
+fn alloc_probe() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: counting_alloc::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed),
+        allocated_bytes: counting_alloc::ALLOCATED_BYTES.load(std::sync::atomic::Ordering::Relaxed),
+        peak_bytes: counting_alloc::PEAK_BYTES.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
+/// Formats one histogram sample: `*_nanos` series render as
+/// milliseconds, dimensionless series (Lanczos iterations, checkpoint
+/// counts, stage width) as plain integers.
+fn fmt_sample(name: &str, v: u64) -> String {
+    if name.ends_with("_nanos") {
+        format!("{:.3}ms", v as f64 / 1e6)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Prints the per-stage latency percentile table from the live
+/// registry: one row per recorded histogram of interest.
+fn render_stage_percentiles(registry: &MetricsRegistry) {
+    const STAGES: [&str; 8] = [
+        "stage.compression_nanos",
+        "stage.cutting_nanos",
+        "stage.greedy_nanos",
+        "pipeline.solve_nanos",
+        "session.join_nanos",
+        "session.replan_nanos",
+        "lanczos.iterations",
+        "lanczos.checkpoints",
+    ];
+    let snap = registry.snapshot();
+    let rows: Vec<Vec<String>> = STAGES
+        .iter()
+        .filter_map(|&name| {
+            snap.histogram(name).map(|h| {
+                vec![
+                    name.to_string(),
+                    h.count().to_string(),
+                    fmt_sample(name, h.value_at_quantile(0.50)),
+                    fmt_sample(name, h.value_at_quantile(0.90)),
+                    fmt_sample(name, h.value_at_quantile(0.99)),
+                    fmt_sample(name, h.max()),
+                ]
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        println!("(no stage histograms recorded)");
+        return;
+    }
+    println!(
+        "{}",
+        render_table(&["stage", "count", "p50", "p90", "p99", "max"], &rows)
+    );
+}
+
+fn run_fig9(opts: &Options, sink: &Arc<dyn TraceSink>, registry: &Arc<MetricsRegistry>) {
     println!("== Fig. 9: execution time vs graph size ==\n");
     let points: Vec<RuntimePoint> = runtime::run_traced(&sizes(opts), opts.seed, opts.extra, sink);
     let sizes: Vec<usize> = {
@@ -558,11 +639,21 @@ fn run_fig9(opts: &Options, sink: &Arc<dyn TraceSink>) {
     println!("== multi-user front-end speedup (cluster vs serial) ==\n");
     let (users, nodes) = if opts.quick { (8, 300) } else { (16, 800) };
     let mut speedups: Vec<FrontendSpeedup> = Vec::new();
+    let mut per_worker: Vec<WorkerUtilization> = Vec::new();
     for workers in [1, opts.workers] {
         if speedups.iter().any(|s| s.workers == workers) {
             continue;
         }
-        speedups.push(runtime::frontend_speedup(users, nodes, opts.seed, workers));
+        if workers == opts.workers {
+            // the headline run records per-worker distributions into
+            // the registry; utilization rows come out of that interval
+            let (s, w) =
+                runtime::frontend_speedup_traced(users, nodes, opts.seed, workers, registry);
+            speedups.push(s);
+            per_worker = w;
+        } else {
+            speedups.push(runtime::frontend_speedup(users, nodes, opts.seed, workers));
+        }
     }
     let speedup_rows: Vec<Vec<String>> = speedups
         .iter()
@@ -594,16 +685,125 @@ fn run_fig9(opts: &Options, sink: &Arc<dyn TraceSink>) {
         }
     }
     write_json(format!("{}/fig9_speedup.json", opts.out), &speedups);
+
+    if !per_worker.is_empty() {
+        println!(
+            "\n== per-worker utilization (cluster leg, {} workers) ==\n",
+            per_worker.len()
+        );
+        let rows: Vec<Vec<String>> = per_worker
+            .iter()
+            .map(|w| {
+                vec![
+                    w.worker.to_string(),
+                    w.tasks.to_string(),
+                    format!("{:.3}s", w.busy_seconds),
+                    format!("{:.1}%", 100.0 * w.utilization),
+                    fmt_sample("task_nanos", w.p50_task_nanos),
+                    fmt_sample("task_nanos", w.p99_task_nanos),
+                    fmt_sample("queue_nanos", w.p50_queue_nanos),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "worker",
+                    "tasks",
+                    "busy",
+                    "utilization",
+                    "task p50",
+                    "task p99",
+                    "queue p50",
+                ],
+                &rows,
+            )
+        );
+        write_json(format!("{}/fig9_workers.json", opts.out), &per_worker);
+    }
+
+    println!("\n== pipeline stage latency distributions ==\n");
+    render_stage_percentiles(registry);
+}
+
+/// Re-runs the committed baseline's hot-path spec and gates the fresh
+/// numbers against it. Exits non-zero when any metric fails, so CI can
+/// consume the verdict directly.
+fn run_perf_gate(opts: &Options) {
+    let path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| "BENCH_spectral.json".to_string());
+    println!("== perf gate: fresh hot-path run vs {path} ==\n");
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
+    let baseline = perfgate::parse_baseline(&json).unwrap_or_else(|e| die(&e));
+    println!(
+        "re-running the baseline's spec (users {}, nodes {}, seed {}, depth {}, iters {}) \
+         at {:.0}% tolerance\n",
+        baseline.spec.users,
+        baseline.spec.nodes,
+        baseline.spec.seed,
+        baseline.spec.depth,
+        baseline.spec.iters,
+        100.0 * opts.tolerance,
+    );
+    let probe = alloc_probe;
+    let fresh = spectral_hotpath::run(&baseline.spec, Some(&probe)).expect("hot path is benchable");
+    let report = perfgate::evaluate(&baseline, &fresh, opts.tolerance);
+    let fmt_value = |v: f64| {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.4}")
+        }
+    };
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.metric.to_string(),
+                fmt_value(r.baseline),
+                fmt_value(r.fresh),
+                format!("{:.3}x", r.ratio),
+                r.status.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["metric", "baseline", "fresh", "ratio", "verdict"], &rows)
+    );
+    match report.worst() {
+        GateStatus::Pass => println!("\nperf gate: PASS"),
+        GateStatus::Warn => println!(
+            "\nperf gate: WARN — within tolerance but drifting; re-run on a quiet host \
+             or refresh the baseline if the regression is intended"
+        ),
+        GateStatus::Fail => {
+            println!("\nperf gate: FAIL — at least one metric regressed beyond tolerance");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let opts = parse_args();
     // One recorder for the whole invocation: spans and counters from
     // every pipeline the selected command builds land in one trace.
+    // With `--trace-out` the registry is the recorder's own; otherwise
+    // a metrics-only sink still collects histograms for the percentile
+    // tables and `--metrics-out` without buffering any events.
     let recorder = opts.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
-    let sink: Arc<dyn TraceSink> = match &recorder {
-        Some(r) => Arc::clone(r) as Arc<dyn TraceSink>,
-        None => mec_obs::null_sink(),
+    let (sink, registry): (Arc<dyn TraceSink>, Arc<MetricsRegistry>) = match &recorder {
+        Some(r) => (Arc::clone(r) as Arc<dyn TraceSink>, r.metrics()),
+        None => {
+            let metrics_sink = Arc::new(MetricsSink::new());
+            let registry = metrics_sink.registry();
+            (metrics_sink as Arc<dyn TraceSink>, registry)
+        }
     };
     let single_user_figs: Vec<(&str, &str, &str)> = vec![
         ("fig3", "local", "Fig. 3: local energy consumption"),
@@ -635,15 +835,16 @@ fn main() {
         "fig8" => {
             run_multiuser(&opts, &multi_user_figs[2..3], &sink);
         }
-        "fig9" => run_fig9(&opts, &sink),
+        "fig9" => run_fig9(&opts, &sink, &registry),
         "ablate" => run_ablation(&opts, &sink),
         "bench" => run_bench(&opts),
+        "perf-gate" => run_perf_gate(&opts),
         "check" => run_check(&opts),
         "all" => {
             run_table1(&opts, &sink);
             run_energy(&opts, &single_user_figs, &sink);
             run_multiuser(&opts, &multi_user_figs, &sink);
-            run_fig9(&opts, &sink);
+            run_fig9(&opts, &sink, &registry);
             run_ablation(&opts, &sink);
         }
         other => die(&format!("unknown command: {other}")),
@@ -656,5 +857,20 @@ fn main() {
         }
         std::fs::write(path, recorder.to_json_string()).expect("trace file is writable");
         println!("trace written to {path}");
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("metrics directory is creatable");
+            }
+        }
+        let snap = registry.snapshot();
+        let body = if path.ends_with(".prom") || path.ends_with(".txt") {
+            snap.to_prometheus_string()
+        } else {
+            snap.to_json_string()
+        };
+        std::fs::write(path, body).expect("metrics file is writable");
+        println!("metrics written to {path}");
     }
 }

@@ -24,6 +24,7 @@
 pub mod ablation;
 pub mod energy;
 pub mod multiuser;
+pub mod perfgate;
 pub mod report;
 pub mod runtime;
 pub mod spectral_hotpath;

@@ -1,0 +1,403 @@
+//! The performance-regression gate: compares a fresh spectral
+//! hot-path bench run against the committed `BENCH_spectral.json`
+//! baseline and classifies each headline metric pass / warn / fail
+//! under a configurable noise tolerance.
+//!
+//! The gate re-runs the *same spec the baseline recorded* (users,
+//! nodes, seed, depth, iters are read out of the baseline file), so a
+//! `--quick` fresh run can never be compared against a full baseline
+//! by accident. Timing metrics are noisy across hosts, hence the
+//! tolerance band; structural metrics (`parts`, `cut_weight`) are
+//! deterministic and compared exactly.
+
+use crate::spectral_hotpath::{HotpathReport, HotpathSpec};
+use serde::{find_field, Value};
+use std::fmt;
+
+/// Verdict for one gated metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GateStatus {
+    /// Within half the tolerance band.
+    Pass,
+    /// Between half and the full tolerance band — noisy but suspicious.
+    Warn,
+    /// Beyond the tolerance band (or a deterministic metric changed).
+    Fail,
+}
+
+impl fmt::Display for GateStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GateStatus::Pass => "PASS",
+            GateStatus::Warn => "WARN",
+            GateStatus::Fail => "FAIL",
+        })
+    }
+}
+
+/// One row of the gate table.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Metric name, e.g. `optimized.seconds`.
+    pub metric: &'static str,
+    /// Value recorded in the committed baseline.
+    pub baseline: f64,
+    /// Value from the fresh run.
+    pub fresh: f64,
+    /// `fresh / baseline` (1.0 when the baseline is zero and fresh is
+    /// too).
+    pub ratio: f64,
+    /// The verdict.
+    pub status: GateStatus,
+}
+
+/// The whole gate outcome.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-metric rows, headline first.
+    pub rows: Vec<GateRow>,
+    /// The tolerance the verdicts used (relative, e.g. 0.25 = 25 %).
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// The most severe verdict across all rows.
+    pub fn worst(&self) -> GateStatus {
+        self.rows
+            .iter()
+            .map(|r| r.status)
+            .max()
+            .unwrap_or(GateStatus::Pass)
+    }
+}
+
+/// The slice of the committed baseline JSON the gate compares against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    /// The workload to re-run.
+    pub spec: HotpathSpec,
+    /// `optimized.seconds` from the baseline.
+    pub optimized_seconds: f64,
+    /// `speedup` from the baseline.
+    pub speedup: f64,
+    /// `optimized.allocations`, when the baseline was measured with a
+    /// counting allocator.
+    pub allocations: Option<u64>,
+    /// `optimized.allocated_bytes`, likewise.
+    pub allocated_bytes: Option<u64>,
+    /// `optimized.parts` (deterministic).
+    pub parts: u64,
+    /// `optimized.cut_weight` (deterministic).
+    pub cut_weight: f64,
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(u) => Some(*u as f64),
+        Value::I64(i) => Some(*i as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(u) => Some(*u),
+        Value::I64(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn field_f64(fields: &[(String, Value)], name: &str) -> Result<f64, String> {
+    find_field(fields, name)
+        .and_then(as_f64)
+        .ok_or_else(|| format!("baseline lacks numeric field {name:?}"))
+}
+
+fn field_u64(fields: &[(String, Value)], name: &str) -> Result<u64, String> {
+    find_field(fields, name)
+        .and_then(as_u64)
+        .ok_or_else(|| format!("baseline lacks integer field {name:?}"))
+}
+
+/// Parses the committed `BENCH_spectral.json` into the slice the gate
+/// needs.
+///
+/// # Errors
+///
+/// A human-readable message when the file is not valid JSON or lacks a
+/// required field.
+pub fn parse_baseline(json: &str) -> Result<Baseline, String> {
+    let value: Value = serde_json::from_str(json).map_err(|e| format!("baseline JSON: {e}"))?;
+    let top = value.as_object().ok_or("baseline is not a JSON object")?;
+    let spec = find_field(top, "spec")
+        .and_then(Value::as_object)
+        .ok_or("baseline lacks a spec object")?;
+    let optimized = find_field(top, "optimized")
+        .and_then(Value::as_object)
+        .ok_or("baseline lacks an optimized object")?;
+    Ok(Baseline {
+        spec: HotpathSpec {
+            users: field_u64(spec, "users")? as usize,
+            nodes: field_u64(spec, "nodes")? as usize,
+            seed: field_u64(spec, "seed")?,
+            depth: field_u64(spec, "depth")? as usize,
+            iters: field_u64(spec, "iters")? as usize,
+        },
+        optimized_seconds: field_f64(optimized, "seconds")?,
+        speedup: field_f64(top, "speedup")?,
+        allocations: find_field(optimized, "allocations").and_then(as_u64),
+        allocated_bytes: find_field(optimized, "allocated_bytes").and_then(as_u64),
+        parts: field_u64(optimized, "parts")?,
+        cut_weight: field_f64(optimized, "cut_weight")?,
+    })
+}
+
+/// Classifies a "lower is better" metric: the regression is
+/// `fresh / baseline - 1`, gated against the tolerance band.
+fn gate_lower_is_better(
+    metric: &'static str,
+    baseline: f64,
+    fresh: f64,
+    tolerance: f64,
+) -> GateRow {
+    let ratio = if baseline > 0.0 {
+        fresh / baseline
+    } else {
+        1.0
+    };
+    let status = if ratio > 1.0 + tolerance {
+        GateStatus::Fail
+    } else if ratio > 1.0 + tolerance / 2.0 {
+        GateStatus::Warn
+    } else {
+        GateStatus::Pass
+    };
+    GateRow {
+        metric,
+        baseline,
+        fresh,
+        ratio,
+        status,
+    }
+}
+
+/// Classifies a "higher is better" metric (the speedup).
+fn gate_higher_is_better(
+    metric: &'static str,
+    baseline: f64,
+    fresh: f64,
+    tolerance: f64,
+) -> GateRow {
+    let ratio = if baseline > 0.0 {
+        fresh / baseline
+    } else {
+        1.0
+    };
+    let status = if ratio < 1.0 - tolerance {
+        GateStatus::Fail
+    } else if ratio < 1.0 - tolerance / 2.0 {
+        GateStatus::Warn
+    } else {
+        GateStatus::Pass
+    };
+    GateRow {
+        metric,
+        baseline,
+        fresh,
+        ratio,
+        status,
+    }
+}
+
+/// Classifies a deterministic metric: any relative deviation beyond
+/// `1e-9` fails regardless of tolerance.
+fn gate_exact(metric: &'static str, baseline: f64, fresh: f64) -> GateRow {
+    let scale = baseline.abs().max(fresh.abs()).max(1.0);
+    let status = if (fresh - baseline).abs() <= 1e-9 * scale {
+        GateStatus::Pass
+    } else {
+        GateStatus::Fail
+    };
+    GateRow {
+        metric,
+        baseline,
+        fresh,
+        ratio: if baseline != 0.0 {
+            fresh / baseline
+        } else {
+            1.0
+        },
+        status,
+    }
+}
+
+/// Compares a fresh hot-path run against the committed baseline.
+///
+/// Wall-clock and allocation metrics use the tolerance band (fail
+/// beyond it, warn beyond half of it); `parts` and `cut_weight` are
+/// deterministic and compared exactly. Allocation rows are emitted
+/// only when both sides were measured with a counting allocator.
+pub fn evaluate(baseline: &Baseline, fresh: &HotpathReport, tolerance: f64) -> GateReport {
+    let mut rows = vec![
+        gate_lower_is_better(
+            "optimized.seconds",
+            baseline.optimized_seconds,
+            fresh.optimized.seconds,
+            tolerance,
+        ),
+        gate_higher_is_better("speedup", baseline.speedup, fresh.speedup, tolerance),
+    ];
+    if let (Some(b), Some(f)) = (baseline.allocations, fresh.optimized.allocations) {
+        rows.push(gate_lower_is_better(
+            "optimized.allocations",
+            b as f64,
+            f as f64,
+            tolerance,
+        ));
+    }
+    if let (Some(b), Some(f)) = (baseline.allocated_bytes, fresh.optimized.allocated_bytes) {
+        rows.push(gate_lower_is_better(
+            "optimized.allocated_bytes",
+            b as f64,
+            f as f64,
+            tolerance,
+        ));
+    }
+    rows.push(gate_exact(
+        "optimized.parts",
+        baseline.parts as f64,
+        fresh.optimized.parts as f64,
+    ));
+    rows.push(gate_exact(
+        "optimized.cut_weight",
+        baseline.cut_weight,
+        fresh.optimized.cut_weight,
+    ));
+    GateReport { rows, tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectral_hotpath::HotpathMeasurement;
+
+    fn fresh_report(seconds: f64, speedup: f64, parts: usize, cut_weight: f64) -> HotpathReport {
+        let m = |label: &str, secs: f64| HotpathMeasurement {
+            label: label.to_string(),
+            seconds: secs,
+            allocations: Some(100_000),
+            allocated_bytes: Some(40_000_000),
+            peak_growth_bytes: Some(0),
+            parts,
+            cut_weight,
+        };
+        HotpathReport {
+            spec: HotpathSpec::default(),
+            baseline: m("baseline", seconds * speedup),
+            optimized: m("optimized", seconds),
+            speedup,
+            alloc_ratio: Some(1.5),
+        }
+    }
+
+    fn baseline() -> Baseline {
+        Baseline {
+            spec: HotpathSpec::default(),
+            optimized_seconds: 1.0,
+            speedup: 3.0,
+            allocations: Some(100_000),
+            allocated_bytes: Some(40_000_000),
+            parts: 64,
+            cut_weight: 16576.5,
+        }
+    }
+
+    #[test]
+    fn identical_run_passes_everything() {
+        let report = evaluate(&baseline(), &fresh_report(1.0, 3.0, 64, 16576.5), 0.25);
+        assert!(report.rows.iter().all(|r| r.status == GateStatus::Pass));
+        assert_eq!(report.worst(), GateStatus::Pass);
+    }
+
+    #[test]
+    fn large_slowdown_fails() {
+        let report = evaluate(&baseline(), &fresh_report(1.5, 3.0, 64, 16576.5), 0.25);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "optimized.seconds")
+            .unwrap();
+        assert_eq!(row.status, GateStatus::Fail);
+        assert_eq!(report.worst(), GateStatus::Fail);
+    }
+
+    #[test]
+    fn mild_slowdown_warns() {
+        // 20 % over with a 25 % band: between tol/2 and tol
+        let report = evaluate(&baseline(), &fresh_report(1.2, 3.0, 64, 16576.5), 0.25);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "optimized.seconds")
+            .unwrap();
+        assert_eq!(row.status, GateStatus::Warn);
+        assert_eq!(report.worst(), GateStatus::Warn);
+    }
+
+    #[test]
+    fn lost_speedup_fails() {
+        let report = evaluate(&baseline(), &fresh_report(1.0, 2.0, 64, 16576.5), 0.25);
+        let row = report.rows.iter().find(|r| r.metric == "speedup").unwrap();
+        assert_eq!(row.status, GateStatus::Fail);
+    }
+
+    #[test]
+    fn structural_drift_fails_regardless_of_tolerance() {
+        let report = evaluate(&baseline(), &fresh_report(1.0, 3.0, 65, 16576.5), 10.0);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "optimized.parts")
+            .unwrap();
+        assert_eq!(row.status, GateStatus::Fail);
+        let report = evaluate(&baseline(), &fresh_report(1.0, 3.0, 64, 16577.0), 10.0);
+        assert_eq!(report.worst(), GateStatus::Fail);
+    }
+
+    #[test]
+    fn faster_run_passes() {
+        let report = evaluate(&baseline(), &fresh_report(0.5, 6.0, 64, 16576.5), 0.25);
+        assert_eq!(report.worst(), GateStatus::Pass);
+    }
+
+    #[test]
+    fn parse_baseline_reads_the_committed_schema() {
+        let json = r#"{
+            "spec": { "users": 8, "nodes": 2000, "seed": 20190707, "depth": 3, "iters": 3 },
+            "baseline": { "label": "b", "seconds": 3.3, "allocations": 267554,
+                          "allocated_bytes": 154201918, "peak_growth_bytes": 0,
+                          "parts": 64, "cut_weight": 16576.90456367839 },
+            "optimized": { "label": "o", "seconds": 1.07, "allocations": 172040,
+                           "allocated_bytes": 41387922, "peak_growth_bytes": 9831,
+                           "parts": 64, "cut_weight": 16576.90456367839 },
+            "speedup": 3.118,
+            "alloc_ratio": 1.555
+        }"#;
+        let b = parse_baseline(json).expect("parses");
+        assert_eq!(b.spec.users, 8);
+        assert_eq!(b.spec.nodes, 2000);
+        assert_eq!(b.spec.seed, 20190707);
+        assert_eq!(b.parts, 64);
+        assert_eq!(b.allocations, Some(172040));
+        assert!((b.optimized_seconds - 1.07).abs() < 1e-12);
+        assert!((b.speedup - 3.118).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_baseline_rejects_garbage() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline(r#"{ "spec": {} }"#).is_err());
+    }
+}

@@ -24,10 +24,11 @@ use mec_graph::{Bipartition, Graph};
 use mec_linalg::LanczosOptions;
 use mec_model::{Scenario, SystemParams, UserWorkload};
 use mec_netgen::NetgenSpec;
-use mec_obs::TraceSink;
+use mec_obs::{MetricsRegistry, MetricsSink, TraceSink};
 use mec_spectral::SpectralBisector;
 use serde::Serialize;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One timing measurement.
 #[derive(Debug, Clone, Serialize)]
@@ -186,6 +187,138 @@ pub fn frontend_speedup(users: usize, nodes: usize, seed: u64, workers: usize) -
     }
 }
 
+/// Per-worker utilization row for the cluster leg of a
+/// [`frontend_speedup_traced`] measurement, sourced from the
+/// `worker`-labeled series the engine records into its
+/// [`MetricsRegistry`].
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerUtilization {
+    /// Worker index (the registry's `worker` label).
+    pub worker: usize,
+    /// Tasks this worker completed (`engine.task_nanos{worker}` count).
+    pub tasks: u64,
+    /// Seconds this worker spent inside tasks
+    /// (`engine.worker_busy_nanos{worker}`).
+    pub busy_seconds: f64,
+    /// `busy / wall` for the cluster leg, clamped to `[0, 1]`.
+    pub utilization: f64,
+    /// Median task latency in nanoseconds.
+    pub p50_task_nanos: u64,
+    /// 99th-percentile task latency in nanoseconds.
+    pub p99_task_nanos: u64,
+    /// Median queue wait in nanoseconds.
+    pub p50_queue_nanos: u64,
+}
+
+/// [`frontend_speedup`] with a metrics registry wired through both
+/// legs: the serial and cluster solves record their stage histograms
+/// into `registry` (via a [`MetricsSink`]), and the cluster is built
+/// with [`Cluster::with_metrics`] so per-worker task-latency /
+/// queue-wait distributions land there too. Returns the speedup record
+/// plus one utilization row per worker, computed from the registry's
+/// `worker`-labeled series over the cluster leg's wall clock.
+pub fn frontend_speedup_traced(
+    users: usize,
+    nodes: usize,
+    seed: u64,
+    workers: usize,
+    registry: &Arc<MetricsRegistry>,
+) -> (FrontendSpeedup, Vec<WorkerUtilization>) {
+    let scenario =
+        Scenario::new(SystemParams::default())
+            .with_users((0..users).map(|i| {
+                UserWorkload::new(format!("u{i}"), runtime_graph(nodes, seed + i as u64))
+            }));
+    let sink: Arc<dyn TraceSink> = Arc::new(MetricsSink::with_registry(Arc::clone(registry)));
+    let offloader = Offloader::builder().trace_sink(sink).build();
+
+    let start = std::time::Instant::now();
+    let serial = offloader
+        .solve(&scenario)
+        .expect("serial pipeline succeeds");
+    let serial_seconds = start.elapsed().as_secs_f64();
+
+    // snapshot before the cluster leg so the utilization diff only
+    // covers registry activity attributable to the clustered run
+    let before = registry.snapshot();
+    let cluster =
+        Arc::new(Cluster::with_metrics(workers, Arc::clone(registry)).expect("cluster spawns"));
+    let start = std::time::Instant::now();
+    let clustered = offloader
+        .solve_on(&cluster, &scenario)
+        .expect("cluster pipeline succeeds");
+    let cluster_seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial.plan, clustered.plan,
+        "cluster front-end must stay bit-identical to the serial path"
+    );
+
+    let interval = registry.snapshot().since(&before);
+    let wall = Duration::from_secs_f64(cluster_seconds);
+    let per_worker = (0..workers)
+        .map(|w| {
+            let label = w.to_string();
+            let busy_nanos = interval
+                .counter_labeled("engine.worker_busy_nanos", "worker", &label)
+                .unwrap_or(0);
+            let (tasks, p50, p99) = interval
+                .histogram_labeled("engine.task_nanos", "worker", &label)
+                .map(|h| {
+                    (
+                        h.count(),
+                        h.value_at_quantile(0.50),
+                        h.value_at_quantile(0.99),
+                    )
+                })
+                .unwrap_or((0, 0, 0));
+            let p50_queue = interval
+                .histogram_labeled("engine.queue_wait_nanos", "worker", &label)
+                .map(|h| h.value_at_quantile(0.50))
+                .unwrap_or(0);
+            WorkerUtilization {
+                worker: w,
+                tasks,
+                busy_seconds: busy_nanos as f64 / 1e9,
+                utilization: WorkerSnapshotProxy(busy_nanos).busy_fraction(wall),
+                p50_task_nanos: p50,
+                p99_task_nanos: p99,
+                p50_queue_nanos: p50_queue,
+            }
+        })
+        .collect();
+
+    (
+        FrontendSpeedup {
+            users,
+            nodes,
+            workers,
+            serial_seconds,
+            cluster_seconds,
+            speedup: serial_seconds / cluster_seconds,
+            host_parallelism: std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+        },
+        per_worker,
+    )
+}
+
+/// Busy-fraction arithmetic shared with
+/// [`mec_engine::WorkerSnapshot::busy_fraction`], applied to a
+/// registry-sourced busy counter.
+struct WorkerSnapshotProxy(u64);
+
+impl WorkerSnapshotProxy {
+    fn busy_fraction(&self, wall: Duration) -> f64 {
+        let wall_ns = wall.as_nanos() as f64;
+        if wall_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.0 as f64 / wall_ns).clamp(0.0, 1.0)
+    }
+}
+
 /// Builds the Fig. 9 workload: a *single-component* graph of `nodes`
 /// functions (so the spectral stage faces one large compressed graph,
 /// as in the paper's runtime experiment).
@@ -320,6 +453,30 @@ mod tests {
         assert!(s.serial_seconds > 0.0);
         assert!(s.cluster_seconds > 0.0);
         assert!((s.speedup - s.serial_seconds / s.cluster_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_speedup_reports_per_worker_utilization() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let (s, workers) = frontend_speedup_traced(4, 120, 11, 2, &registry);
+        assert_eq!((s.users, s.nodes, s.workers), (4, 120, 2));
+        assert_eq!(workers.len(), 2);
+        // 4 tasks were fanned out; every one is attributed to a worker
+        assert_eq!(workers.iter().map(|w| w.tasks).sum::<u64>(), 4);
+        for w in &workers {
+            assert!((0.0..=1.0).contains(&w.utilization));
+            if w.tasks > 0 {
+                assert!(w.p50_task_nanos > 0);
+                assert!(w.p99_task_nanos >= w.p50_task_nanos);
+            }
+        }
+        // both legs recorded their stage histograms into the registry
+        let snap = registry.snapshot();
+        let comp = snap
+            .histogram("stage.compression_nanos")
+            .expect("compression histogram");
+        assert_eq!(comp.count(), 8, "4 users x 2 legs");
+        assert!(snap.histogram("pipeline.solve_nanos").is_some());
     }
 
     #[test]

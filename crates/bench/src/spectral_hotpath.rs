@@ -45,7 +45,7 @@ pub struct AllocSnapshot {
 pub type AllocProbe<'a> = Option<&'a dyn Fn() -> AllocSnapshot>;
 
 /// Workload shape: the Fig. 9 multi-user front-end.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct HotpathSpec {
     /// Users in the scenario (one single-component graph each).
     pub users: usize,

@@ -18,6 +18,11 @@ use mec_spectral::CutScratch;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// A duration as a histogram sample (nanoseconds, saturating).
+pub(crate) fn duration_sample(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// One user's prepared front-end: everything
 /// [`PartSystem::add_user`](crate::PartSystem::add_user) needs, plus
 /// the wall-clock time spent producing it.
@@ -61,6 +66,7 @@ pub(crate) fn prepare_user_reusing(
     let s = span(sink, "stage.compression");
     let outcome = compressor.compress_traced(graph, sink);
     let compression = s.finish();
+    sink.histogram_record("stage.compression_nanos", duration_sample(compression));
 
     let s = span(sink, "stage.cutting");
     let mut cuts = Vec::with_capacity(outcome.components.len());
@@ -68,6 +74,7 @@ pub(crate) fn prepare_user_reusing(
         cuts.push(strategy.cut_reusing(comp.quotient.graph(), scratch)?);
     }
     let cutting = s.finish();
+    sink.histogram_record("stage.cutting_nanos", duration_sample(cutting));
 
     Ok(FrontEnd {
         outcome,

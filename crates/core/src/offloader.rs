@@ -294,7 +294,10 @@ impl Offloader {
             graphs,
         )?;
         let report = self.assemble(scenario, prepared);
-        drop(solve_span);
+        sink.histogram_record(
+            "pipeline.solve_nanos",
+            crate::frontend::duration_sample(solve_span.finish()),
+        );
         report
     }
 
@@ -322,7 +325,10 @@ impl Offloader {
             })
             .collect::<Result<Vec<_>, _>>()?;
         let report = self.assemble(scenario, prepared);
-        drop(solve_span);
+        sink.histogram_record(
+            "pipeline.solve_nanos",
+            crate::frontend::duration_sample(solve_span.finish()),
+        );
         report
     }
 
@@ -347,7 +353,12 @@ impl Offloader {
 
         let s = span(sink, "stage.greedy");
         let greedy = run_greedy_traced(&mut parts, scenario.params(), self.greedy_mode, sink);
-        timings.greedy += s.finish();
+        let greedy_elapsed = s.finish();
+        sink.histogram_record(
+            "stage.greedy_nanos",
+            crate::frontend::duration_sample(greedy_elapsed),
+        );
+        timings.greedy += greedy_elapsed;
 
         let plan = parts.plan();
         let evaluation = scenario.evaluate(&plan)?;

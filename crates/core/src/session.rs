@@ -163,7 +163,10 @@ impl OffloadSession {
             graph,
             frontend,
         });
-        join_span.finish();
+        sink.histogram_record(
+            "session.join_nanos",
+            crate::frontend::duration_sample(join_span.finish()),
+        );
         sink.counter_add("session.joins", 1);
         if sink.enabled() {
             sink.event(
@@ -304,6 +307,10 @@ impl OffloadSession {
         let s = span(sink, "stage.greedy");
         let greedy = run_greedy_traced(&mut parts, &self.params, self.greedy_mode, sink);
         timings.greedy = s.finish();
+        sink.histogram_record(
+            "stage.greedy_nanos",
+            crate::frontend::duration_sample(timings.greedy),
+        );
 
         let scenario = Scenario::new(self.params).with_users(
             self.users
@@ -312,7 +319,13 @@ impl OffloadSession {
         );
         let plan = parts.plan();
         let evaluation = scenario.evaluate(&plan)?;
-        replan_span.finish();
+        // the replan-end-to-end distribution is the ROADMAP's SLO
+        // metric: p99 over this histogram is what a streaming service
+        // would alert on
+        sink.histogram_record(
+            "session.replan_nanos",
+            crate::frontend::duration_sample(replan_span.finish()),
+        );
         sink.counter_add("session.replans", 1);
         Ok(OffloadReport {
             plan,

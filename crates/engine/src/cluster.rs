@@ -1,15 +1,18 @@
 //! The persistent worker pool.
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, WorkerSnapshot};
 use crate::{EngineError, MetricsSnapshot};
 use crossbeam::channel::{unbounded, Sender};
+use mec_obs::metrics::MetricsRegistry;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A queued task: invoked with the index of the worker that runs it,
+/// so per-worker latency histograms attribute work correctly.
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 
 /// Why a stage submitted through
 /// [`try_run_stage`](Cluster::try_run_stage) failed: either the engine
@@ -90,11 +93,31 @@ impl Cluster {
     ///
     /// [`EngineError::NoWorkers`] when `workers == 0`.
     pub fn new(workers: usize) -> Result<Self, EngineError> {
+        Cluster::build(workers, None)
+    }
+
+    /// Spawns a cluster whose per-worker task-latency and queue-wait
+    /// histograms, busy counters, and stage fan-out widths are recorded
+    /// into `registry` (as `engine.task_nanos{worker="i"}`,
+    /// `engine.queue_wait_nanos{worker="i"}`,
+    /// `engine.worker_busy_nanos{worker="i"}`, `engine.stage_width`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoWorkers`] when `workers == 0`.
+    pub fn with_metrics(
+        workers: usize,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self, EngineError> {
+        Cluster::build(workers, Some(registry))
+    }
+
+    fn build(workers: usize, registry: Option<Arc<MetricsRegistry>>) -> Result<Self, EngineError> {
         if workers == 0 {
             return Err(EngineError::NoWorkers);
         }
         let (sender, receiver) = unbounded::<Job>();
-        let metrics = Arc::new(Metrics::default());
+        let metrics = Arc::new(Metrics::new(workers, registry.as_deref()));
         let handles = (0..workers)
             .map(|i| {
                 let rx = receiver.clone();
@@ -102,7 +125,7 @@ impl Cluster {
                     .name(format!("mec-engine-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            job();
+                            job(i);
                         }
                     })
                     .expect("worker thread spawn failed")
@@ -187,7 +210,7 @@ impl Cluster {
         E: Send + 'static,
     {
         let n = inputs.len();
-        self.metrics.record_stage();
+        self.metrics.record_stage(n);
         if n == 0 {
             return Ok(vec![]);
         }
@@ -202,14 +225,16 @@ impl Cluster {
             let f = Arc::clone(&f);
             let tx = tx.clone();
             let metrics = Arc::clone(&self.metrics);
-            let job: Job = Box::new(move || {
+            let enqueued = Instant::now();
+            let job: Job = Box::new(move |worker| {
+                let queue_wait = enqueued.elapsed();
                 let start = Instant::now();
                 let out = match catch_unwind(AssertUnwindSafe(|| f(i, input))) {
                     Ok(Ok(r)) => TaskOutcome::Ok(r),
                     Ok(Err(e)) => TaskOutcome::TaskError(e),
                     Err(payload) => TaskOutcome::Panicked(panic_message(payload)),
                 };
-                metrics.record_task(start.elapsed().as_nanos() as u64);
+                metrics.record_task(worker, start.elapsed(), queue_wait);
                 // receiver may be gone if the caller bailed early
                 let _ = tx.send((i, out));
             });
@@ -261,6 +286,11 @@ impl Cluster {
     /// Current execution counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Per-worker execution counters, indexed by worker.
+    pub fn worker_metrics(&self) -> Vec<WorkerSnapshot> {
+        self.metrics.worker_snapshots()
     }
 }
 
@@ -422,6 +452,38 @@ mod tests {
         let m = c.metrics();
         assert_eq!(m.stages, 2);
         assert_eq!(m.tasks, 4);
+        assert_eq!(m.workers, 2);
+        assert!(m.wall_nanos > 0);
+        // every task ran on some worker
+        let per_worker: u64 = c.worker_metrics().iter().map(|w| w.tasks).sum();
+        assert_eq!(per_worker, 4);
+    }
+
+    #[test]
+    fn registry_backed_cluster_records_distributions() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let c = Cluster::with_metrics(3, Arc::clone(&registry)).unwrap();
+        c.run_stage((0..24).collect(), |_, x: i32| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            x
+        })
+        .unwrap();
+        let snap = registry.snapshot();
+        let width = snap.histogram("engine.stage_width").expect("stage width");
+        assert_eq!(width.count(), 1);
+        assert_eq!(width.max(), 24);
+        let recorded: u64 = (0..3)
+            .filter_map(|w| {
+                snap.histogram_labeled("engine.task_nanos", "worker", &w.to_string())
+                    .map(|h| h.count())
+            })
+            .sum();
+        assert_eq!(recorded, 24, "every task lands in some worker histogram");
+        // queue-wait histograms exist for the workers that ran tasks
+        assert!((0..3).any(|w| {
+            snap.histogram_labeled("engine.queue_wait_nanos", "worker", &w.to_string())
+                .is_some_and(|h| h.count() > 0)
+        }));
     }
 
     #[test]

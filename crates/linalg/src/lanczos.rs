@@ -274,6 +274,7 @@ pub fn lanczos_with<'s, A: SymOp>(
     scratch.pool.push(v);
     scratch.pool.push(w);
     sink.counter_add("lanczos.iterations", scratch.alphas.len() as u64);
+    sink.histogram_record("lanczos.iterations", scratch.alphas.len() as u64);
     if restarts > 0 {
         sink.counter_add("lanczos.restarts", restarts);
     }
@@ -491,6 +492,7 @@ fn solve_incremental<A: SymOp>(
     }
     let mut w = scratch.checkout(n);
     let mut restarts = 0u64;
+    let mut checkpoints = 0u64;
     // a warm seed is already near the target eigenvector, so start
     // checking earlier than the cold burst size
     let mut next_check = if warm_seeded {
@@ -536,6 +538,7 @@ fn solve_incremental<A: SymOp>(
         }
 
         if m >= k && (m >= next_check || spanned) {
+            checkpoints += 1;
             let vals = tridiagonal_eigenvalues(&scratch.alphas, &scratch.betas[..m - 1])?;
             // the genuine next beta when the recurrence prepared one
             // (betas.len() == m), the cold-path estimate beta_{m-1}
@@ -576,6 +579,12 @@ fn solve_incremental<A: SymOp>(
                 scratch.pool.push(v);
                 scratch.pool.push(w);
                 sink.counter_add("lanczos.iterations", m as u64);
+                // iterations-to-convergence and checkpoint-count
+                // distributions: cheap enough (two relaxed-atomic
+                // bumps, or a branch on the null sink) to stay on
+                // under warm_start
+                sink.histogram_record("lanczos.iterations", m as u64);
+                sink.histogram_record("lanczos.checkpoints", checkpoints);
                 if restarts > 0 {
                     sink.counter_add("lanczos.restarts", restarts);
                 }

@@ -12,7 +12,15 @@
 //! - [`Recorder`] — an in-memory sink with atomic counters, a bounded
 //!   event ring buffer, full span records, and JSON export for
 //!   `scripts/plot_figures.py` and the `--trace-out` flag of the
-//!   experiments binary.
+//!   experiments binary;
+//! - [`MetricsRegistry`] (the `mec-metrics` layer, [`metrics`]) — live
+//!   log-bucketed histograms, gauges, and labeled counters with
+//!   percentile summaries, snapshot diffing, and JSON/Prometheus
+//!   exposition — the distributional complement to the event-ordered
+//!   trace above;
+//! - [`MetricsSink`] — a [`TraceSink`] that forwards counters and
+//!   histogram records into a shared registry without recording spans
+//!   or events, for metric collection at near-zero overhead.
 //!
 //! # Example
 //!
@@ -36,8 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 mod recorder;
 
+pub use metrics::{
+    CounterHandle, GaugeHandle, Histogram, HistogramHandle, HistogramSnapshot, MetricKey,
+    MetricsRegistry, RegistrySnapshot,
+};
 pub use recorder::{Recorder, SpanRecord, TraceEvent};
 
 use std::fmt;
@@ -144,6 +157,13 @@ pub trait TraceSink: Send + Sync + fmt::Debug {
     fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
         let _ = (name, fields);
     }
+
+    /// Records one sample into the histogram `name` (typically a
+    /// latency in nanoseconds or a small count). The default is a true
+    /// no-op, so the [`NullSink`] path stays allocation-free.
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
 }
 
 /// The default sink: records nothing, costs nothing.
@@ -157,6 +177,55 @@ impl TraceSink for NullSink {}
 pub fn null_sink() -> Arc<dyn TraceSink> {
     static NULL: OnceLock<Arc<NullSink>> = OnceLock::new();
     Arc::clone(NULL.get_or_init(|| Arc::new(NullSink))) as Arc<dyn TraceSink>
+}
+
+/// A [`TraceSink`] that collects *metrics only*: counters and histogram
+/// records land in a shared [`MetricsRegistry`], spans and events are
+/// ignored. This is the cheap way to get live percentiles from a run
+/// that does not need a full trace — the experiments binary uses it
+/// when `--trace-out` is absent but a metrics table is wanted.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsSink {
+    /// A sink backed by a fresh enabled registry.
+    pub fn new() -> Self {
+        MetricsSink {
+            registry: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// A sink forwarding into an existing registry.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        MetricsSink { registry }
+    }
+
+    /// The shared registry this sink records into.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.registry.add_counter(name, delta);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        self.registry.record_histogram(name, value);
+    }
 }
 
 /// RAII guard for a span: exits the span when dropped or

@@ -1,11 +1,12 @@
 //! The in-memory recording sink and its JSON export.
 
+use crate::metrics::MetricsRegistry;
 use crate::{FieldValue, SpanId, TraceSink};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Default capacity of the event ring buffer.
@@ -95,6 +96,8 @@ pub struct Recorder {
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<EventRing>,
     dropped_events: AtomicU64,
+    drop_warned: AtomicBool,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for EventRing {
@@ -133,7 +136,17 @@ impl Recorder {
                 head: 0,
             }),
             dropped_events: AtomicU64::new(0),
+            drop_warned: AtomicBool::new(false),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
+    }
+
+    /// The live metrics registry this recorder forwards
+    /// [`TraceSink::histogram_record`] calls into. Share the `Arc` with
+    /// an engine cluster to collect per-worker histograms in the same
+    /// place as the pipeline's stage histograms.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     fn now_ns(&self) -> u64 {
@@ -180,6 +193,52 @@ impl Recorder {
         self.dropped_events.load(Ordering::Relaxed)
     }
 
+    /// Collapses the closed spans into folded-stack lines
+    /// (`root;child;leaf <self_nanos>`), the input format of
+    /// inferno / `flamegraph.pl`. Self time is the span's duration
+    /// minus the summed durations of its direct children; frames whose
+    /// self time rounds to zero are omitted (they still appear as
+    /// prefixes of their children's stacks). See
+    /// `scripts/flamegraph.sh` for the rendering step.
+    pub fn to_collapsed_stacks(&self) -> String {
+        let spans = self.spans();
+        let mut child_ns: HashMap<u64, u64> = HashMap::new();
+        for s in &spans {
+            if let Some(d) = s.duration_ns() {
+                if s.parent != 0 {
+                    *child_ns.entry(s.parent).or_insert(0) += d;
+                }
+            }
+        }
+        let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &spans {
+            let Some(d) = s.duration_ns() else { continue };
+            let self_ns = d.saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+            if self_ns == 0 {
+                continue;
+            }
+            let mut frames = vec![s.name];
+            let mut parent = s.parent;
+            while parent != 0 {
+                match by_id.get(&parent) {
+                    Some(p) => {
+                        frames.push(p.name);
+                        parent = p.parent;
+                    }
+                    None => break,
+                }
+            }
+            frames.reverse();
+            *folded.entry(frames.join(";")).or_insert(0) += self_ns;
+        }
+        let mut out = String::with_capacity(folded.len() * 48);
+        for (stack, ns) in folded {
+            let _ = writeln!(out, "{stack} {ns}");
+        }
+        out
+    }
+
     /// Serialises the whole trace as a JSON document.
     ///
     /// Schema (stable, consumed by `scripts/plot_figures.py`):
@@ -193,9 +252,15 @@ impl Recorder {
     ///                "start_ns": 10, "end_ns": 900, "duration_ns": 890 } ],
     ///   "events": [ { "t_ns": 15, "name": "labelprop.round",
     ///                 "fields": { "round": 1, "alpha": 0.5 } } ],
-    ///   "dropped_events": 0
+    ///   "metrics": { "histograms": {}, "counters": {}, "gauges": {} },
+    ///   "events_dropped": 0
     /// }
     /// ```
+    ///
+    /// When the bounded ring has evicted events, the export also
+    /// carries a top-level `"warning"` string so truncation is never
+    /// silent. (`"events_dropped"` was named `"dropped_events"` before
+    /// the warning existed.)
     pub fn to_json_string(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n  \"version\": 1,\n");
@@ -269,7 +334,26 @@ impl Recorder {
         }
         out.push_str("],\n");
 
-        let _ = write!(out, "  \"dropped_events\": {}\n}}\n", self.dropped_events());
+        // live metrics: spliced in as a nested object (the snapshot
+        // serialiser already emits a complete JSON document)
+        let metrics_json = self.metrics.snapshot().to_json_string();
+        out.push_str("  \"metrics\": ");
+        out.push_str(metrics_json.trim_end());
+        out.push_str(",\n");
+
+        let dropped = self.dropped_events();
+        if dropped > 0 {
+            out.push_str("  \"warning\": ");
+            write_json_str(
+                &mut out,
+                &format!(
+                    "event ring buffer overflowed: {dropped} oldest event(s) evicted; \
+                     raise Recorder::with_event_capacity to keep them"
+                ),
+            );
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "  \"events_dropped\": {dropped}\n}}\n");
         out
     }
 }
@@ -385,7 +469,19 @@ impl TraceSink for Recorder {
         let evicted = self.events.lock().expect("event ring poisoned").push(ev);
         if evicted {
             self.dropped_events.fetch_add(1, Ordering::Relaxed);
+            // warn exactly once per recorder; the JSON export carries
+            // the final count either way
+            if !self.drop_warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "mec-obs: event ring buffer full, oldest events are being evicted \
+                     (raise Recorder::with_event_capacity)"
+                );
+            }
         }
+    }
+
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        self.metrics.record_histogram(name, value);
     }
 }
 
@@ -480,10 +576,87 @@ mod tests {
             "\"greedy.moves_evaluated\": 7",
             "\"labelprop.round\"",
             "\"alpha\": 0.5",
-            "\"dropped_events\": 0",
+            "\"events_dropped\": 0",
+            "\"metrics\":",
             "\"duration_ns\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+        assert!(
+            !json.contains("\"warning\""),
+            "no warning without evictions"
+        );
+    }
+
+    #[test]
+    fn json_export_warns_once_truncation_happened() {
+        let rec = Recorder::with_event_capacity(1);
+        rec.event("e", &[]);
+        rec.event("e", &[]);
+        let json = rec.to_json_string();
+        assert!(json.contains("\"events_dropped\": 1"), "{json}");
+        assert!(json.contains("\"warning\""), "{json}");
+        assert!(json.contains("evicted"), "{json}");
+    }
+
+    #[test]
+    fn histogram_records_land_in_the_registry() {
+        let rec = Recorder::new();
+        rec.histogram_record("stage.greedy_nanos", 1_000);
+        rec.histogram_record("stage.greedy_nanos", 3_000);
+        let snap = rec.metrics().snapshot();
+        let h = snap.histogram("stage.greedy_nanos").expect("histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 3_000);
+        assert!(rec.to_json_string().contains("stage.greedy_nanos"));
+    }
+
+    #[test]
+    fn collapsed_stacks_fold_self_time_by_path() {
+        let rec = Recorder::new();
+        let outer = span(&rec, "pipeline.solve");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let inner = span(&rec, "stage.greedy");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        inner.finish();
+        outer.finish();
+        let folded = rec.to_collapsed_stacks();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("pipeline.solve;stage.greedy ")),
+            "missing nested frame in:\n{folded}"
+        );
+        assert!(
+            lines.iter().any(|l| l.starts_with("pipeline.solve ")),
+            "missing root self time in:\n{folded}"
+        );
+        for line in &lines {
+            let (stack, weight) = line.rsplit_once(' ').expect("weight separator");
+            assert!(!stack.is_empty());
+            assert!(weight.parse::<u64>().is_ok(), "bad weight in {line:?}");
+        }
+        // root self time excludes the child's time
+        let root_ns: u64 = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("pipeline.solve "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let child_ns: u64 = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("pipeline.solve;stage.greedy "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let total = rec
+            .spans()
+            .iter()
+            .find(|s| s.name == "pipeline.solve")
+            .unwrap()
+            .duration_ns()
+            .unwrap();
+        assert_eq!(root_ns + child_ns, total);
     }
 }

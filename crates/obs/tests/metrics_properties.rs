@@ -1,0 +1,161 @@
+//! Property-based tests for the metrics histograms: algebraic laws
+//! (merge associativity/commutativity), quantile monotonicity and
+//! error bounds across bucket boundaries, and a concurrency hammer
+//! pinning that parallel recording loses nothing.
+
+use mec_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Sample vectors that cross the linear region (v < 32), several
+/// octave boundaries, and the large tail.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..64,                                 // linear region + first octave
+            30u64..34,                                // the linear/log seam
+            (5u64..40).prop_map(|e| 1u64 << e),       // power-of-two boundaries
+            (5u64..40).prop_map(|e| (1u64 << e) - 1), // just below them
+            // broad tail, bounded so a whole run's sum stays in u64
+            0u64..u64::MAX / 256,
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = merged(&merged(&sa, &sb), &sc);
+        let right = merged(&sa, &merged(&sb, &sc));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(merged(&sa, &sb), merged(&sb, &sa));
+        // merging equals recording everything into one histogram
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(left, snapshot_of(&all));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(samples in arb_samples(), q1 in 0.0f64..1.01, q2 in 0.0f64..1.01) {
+        let s = snapshot_of(&samples);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.value_at_quantile(lo) <= s.value_at_quantile(hi));
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_order_statistic(samples in arb_samples(), q in 0.0f64..1.01) {
+        if samples.is_empty() {
+            prop_assert_eq!(snapshot_of(&samples).value_at_quantile(q), 0);
+            return Ok(());
+        }
+        let s = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[target - 1];
+        let got = s.value_at_quantile(q);
+        // never below the true order statistic, never above it by more
+        // than one 32-sub-bucket octave slice (≤ ~3.2 % relative error)
+        prop_assert!(got >= truth, "quantile {q}: got {got} < true {truth}");
+        prop_assert!(
+            got <= truth + truth / 16 + 1,
+            "quantile {q}: got {got} too far above true {truth}"
+        );
+    }
+
+    #[test]
+    fn exact_stats_survive_bucketing(samples in arb_samples()) {
+        let s = snapshot_of(&samples);
+        prop_assert_eq!(s.count(), samples.len() as u64);
+        prop_assert_eq!(s.sum(), samples.iter().copied().fold(0u64, u64::wrapping_add));
+        prop_assert_eq!(s.min(), samples.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(s.max(), samples.iter().copied().max().unwrap_or(0));
+        // the top extreme is exact (clamped to the observed max); the
+        // bottom is bucket-resolution but never undershoots the min
+        if !samples.is_empty() {
+            prop_assert!(s.value_at_quantile(0.0) >= s.min());
+            prop_assert_eq!(s.value_at_quantile(1.0), s.max());
+        }
+    }
+
+    #[test]
+    fn single_value_is_recovered_exactly(v in 0u64..u64::MAX) {
+        // the [min, max] clamp must make one-element distributions
+        // exact at every quantile, on both sides of bucket seams
+        let s = snapshot_of(&[v]);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(s.value_at_quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn since_recovers_interval_counts(a in arb_samples(), b in arb_samples()) {
+        let h = Histogram::new();
+        for &v in &a {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for &v in &b {
+            h.record(v);
+        }
+        let interval = h.snapshot().since(&earlier);
+        prop_assert_eq!(interval.count(), b.len() as u64);
+        prop_assert_eq!(interval.sum(), b.iter().copied().fold(0u64, u64::wrapping_add));
+    }
+}
+
+/// Eight threads hammering one histogram concurrently: every record
+/// must land — count, sum, min, and max all exact afterwards.
+#[test]
+fn concurrent_hammer_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let s = h.snapshot();
+    let n = THREADS * PER_THREAD;
+    assert_eq!(s.count(), n);
+    assert_eq!(s.sum(), n * (n - 1) / 2);
+    assert_eq!(s.min(), 0);
+    assert_eq!(s.max(), n - 1);
+    // quantiles stay ordered on the merged result
+    let (p50, p90, p99) = (
+        s.value_at_quantile(0.5),
+        s.value_at_quantile(0.9),
+        s.value_at_quantile(0.99),
+    );
+    assert!(p50 <= p90 && p90 <= p99 && p99 <= s.max());
+}

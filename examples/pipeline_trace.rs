@@ -3,11 +3,16 @@
 //! Attaches an [`mec_obs::Recorder`] to the offloader, solves a small
 //! three-user scenario, and prints what the instrumentation saw: stage
 //! spans with durations, the label-propagation α trajectory, Lanczos
-//! iteration counts, and the greedy evaluated/accepted ratio. Finally
-//! exports the whole trace as JSON (the same format the experiments
-//! binary writes with `--trace-out`).
+//! iteration counts, the greedy evaluated/accepted ratio, and the
+//! stage-latency histograms from the recorder's metrics registry.
+//! Finally exports the whole trace as JSON (the same format the
+//! experiments binary writes with `--trace-out`).
 //!
 //! Run with: `cargo run --example pipeline_trace`
+//!
+//! Pass `--collapsed-out PATH` to also write the span tree in
+//! collapsed-stack format for `scripts/flamegraph.sh` (inferno /
+//! flamegraph.pl input).
 
 use copmecs::obs::FieldValue;
 use copmecs::prelude::*;
@@ -102,7 +107,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // --- 6. JSON export (what --trace-out writes) --------------------
+    // --- 6. live histograms from the metrics registry ----------------
+    println!("\nstage latency distributions:");
+    let snap = recorder.metrics().snapshot();
+    for name in [
+        "stage.compression_nanos",
+        "stage.cutting_nanos",
+        "stage.greedy_nanos",
+        "pipeline.solve_nanos",
+        "lanczos.iterations",
+    ] {
+        if let Some(h) = snap.histogram(name) {
+            println!(
+                "  {name:<26} count {:>3}  p50 {:>10}  p99 {:>10}  max {:>10}",
+                h.count(),
+                h.value_at_quantile(0.50),
+                h.value_at_quantile(0.99),
+                h.max(),
+            );
+        }
+    }
+
+    // --- 7. JSON export (what --trace-out writes) --------------------
     let json = recorder.to_json_string();
     println!(
         "\ntrace JSON: {} bytes, {} spans, {} events retained, {} dropped",
@@ -111,5 +137,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         recorder.events().len(),
         recorder.dropped_events()
     );
+
+    // --- 8. collapsed stacks for flamegraph tooling ------------------
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--collapsed-out" {
+            let path = args.next().ok_or("--collapsed-out needs a path")?;
+            let collapsed = recorder.to_collapsed_stacks();
+            std::fs::write(&path, &collapsed)?;
+            println!(
+                "collapsed stacks written to {path} ({} frames) — render with \
+                 scripts/flamegraph.sh {path}",
+                collapsed.lines().count()
+            );
+        }
+    }
     Ok(())
 }

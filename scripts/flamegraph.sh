@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Render a flame graph from collapsed-stack span output.
+#
+# Input is the format Recorder::to_collapsed_stacks() produces
+# ("root;child;leaf <self_nanos>" per line), e.g.:
+#
+#   cargo run --example pipeline_trace -- --collapsed-out trace.folded
+#   scripts/flamegraph.sh trace.folded flame.svg
+#
+# Uses whichever renderer is on PATH: inferno-flamegraph (cargo
+# install inferno) or the classic flamegraph.pl. With neither
+# installed, prints the top self-time frames so the data is still
+# inspectable offline.
+set -eu
+
+in="${1:?usage: flamegraph.sh COLLAPSED_FILE [OUT_SVG]}"
+out="${2:-flame.svg}"
+
+if [ ! -s "$in" ]; then
+    echo "error: $in is missing or empty" >&2
+    exit 1
+fi
+
+if command -v inferno-flamegraph >/dev/null 2>&1; then
+    inferno-flamegraph --title "mec pipeline spans (self time, ns)" \
+        --countname ns <"$in" >"$out"
+    echo "wrote $out (inferno)"
+elif command -v flamegraph.pl >/dev/null 2>&1; then
+    flamegraph.pl --title "mec pipeline spans (self time, ns)" \
+        --countname ns <"$in" >"$out"
+    echo "wrote $out (flamegraph.pl)"
+else
+    echo "no flamegraph renderer on PATH (install inferno or flamegraph.pl);"
+    echo "top self-time frames in $in:"
+    sort -t' ' -k2 -rn "$in" | head -15 | awk '{printf "  %12d ns  %s\n", $NF, $1}'
+fi

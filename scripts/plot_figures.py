@@ -129,8 +129,12 @@ def trace_summary(trace, path):
         print("trace counters:")
         for name in sorted(counters):
             print(f"  {name:<24} {counters[name]}")
-    if trace.get("dropped_events"):
-        print(f"  (ring buffer dropped {trace['dropped_events']} events)")
+    # "events_dropped" since the mec-metrics PR; older traces said "dropped_events"
+    dropped = trace.get("events_dropped", trace.get("dropped_events"))
+    if dropped:
+        print(f"  (ring buffer dropped {dropped} events)")
+    if trace.get("warning"):
+        print(f"  warning: {trace['warning']}")
 
 
 def main():

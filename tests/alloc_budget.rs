@@ -131,6 +131,83 @@ fn warm_partition_rerun_allocates_a_fraction_of_the_cold_run() {
     );
 }
 
+/// The disabled observability hot path — [`NullSink`] histogram
+/// records and handles from a disabled [`MetricsRegistry`] — must stay
+/// strictly allocation-free: these calls sit inside the Lanczos and
+/// stage loops, and a hidden heap touch there would tax every
+/// untraced pipeline run.
+#[test]
+fn disabled_metrics_hot_path_is_allocation_free() {
+    use copmecs::obs::metrics::MetricsRegistry;
+    use copmecs::obs::TraceSink;
+    use std::time::Duration;
+
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let disabled = MetricsRegistry::disabled();
+    let hist = disabled.histogram("stage.compression_nanos");
+    let ctr = disabled.counter("engine.worker_busy_nanos");
+    let gauge = disabled.gauge("engine.live_workers");
+    let delta = alloc_delta(|| {
+        for i in 0..10_000u64 {
+            NullSink.histogram_record("lanczos.iterations", i);
+            NullSink.counter_add("lanczos.restarts", 1);
+            hist.record(i);
+            hist.record_duration(Duration::from_nanos(i));
+            ctr.add(i);
+            gauge.set(i as i64);
+        }
+        // recording through the disabled registry itself is a no-op too
+        disabled.record_histogram("stage.cutting_nanos", 7);
+        disabled.add_counter("engine.tasks", 1);
+    });
+    assert_eq!(delta, 0, "disabled metrics path must not touch the heap");
+}
+
+/// An untraced solve and a NullSink-traced solve must produce
+/// bit-identical plans, and wiring the NullSink in must not add heap
+/// allocations to the solve (the histogram-record call sites compile
+/// down to branch-only no-ops).
+#[test]
+fn null_sink_solve_is_bit_identical_and_allocation_neutral() {
+    use copmecs::obs::NullSink;
+    use copmecs_core::Offloader;
+    use std::sync::Arc;
+
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let g = NetgenSpec::new(150, 450)
+        .seed(31)
+        .generate()
+        .expect("generable workload");
+    let scenario =
+        Scenario::new(SystemParams::default()).with_user(UserWorkload::new("u0", Arc::new(g)));
+    let plain = Offloader::new();
+    let nulled = Offloader::builder()
+        .trace_sink(Arc::new(NullSink) as Arc<dyn TraceSink>)
+        .build();
+
+    let plain_report = plain.solve(&scenario).unwrap();
+    let nulled_report = nulled.solve(&scenario).unwrap();
+    assert_eq!(
+        plain_report.plan, nulled_report.plan,
+        "NullSink must not perturb the plan"
+    );
+
+    // min over repeats: a concurrent harness thread can only inflate a
+    // sample, never deflate it
+    let measure = |off: &Offloader| {
+        (0..3)
+            .map(|_| alloc_delta(|| drop(off.solve(&scenario).unwrap())))
+            .min()
+            .unwrap()
+    };
+    let plain_allocs = measure(&plain);
+    let nulled_allocs = measure(&nulled);
+    assert!(
+        nulled_allocs <= plain_allocs,
+        "NullSink solve allocated more than the untraced solve: {nulled_allocs} vs {plain_allocs}"
+    );
+}
+
 #[test]
 fn warm_start_toggle_preserves_cut_quality_across_seeds() {
     for seed in [5u64, 11, 23, 42] {

@@ -153,9 +153,10 @@ fn trace_json_round_trips_through_serde() {
         "version",
         "duration_ns",
         "counters",
+        "metrics",
         "spans",
         "events",
-        "dropped_events",
+        "events_dropped",
     ] {
         assert!(
             serde::find_field(top, key).is_some(),
