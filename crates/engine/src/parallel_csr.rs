@@ -24,15 +24,8 @@ impl CsrBlock {
     fn apply(&self, x: &[f64], out: &mut Vec<f64>) {
         let rows = self.offsets.len() - 1;
         out.clear();
-        out.reserve(rows);
-        for r in 0..rows {
-            let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
-            let mut acc = 0.0;
-            for (c, v) in self.columns[lo..hi].iter().zip(&self.values[lo..hi]) {
-                acc += v * x[*c];
-            }
-            out.push(acc);
-        }
+        out.resize(rows, 0.0);
+        mec_linalg::kernels::csr_matvec(&self.offsets, &self.columns, &self.values, x, out);
     }
 }
 

@@ -28,15 +28,16 @@ impl RowBlock {
     fn apply(&self, x: &[f64], out: &mut Vec<f64>) {
         let rows = self.offsets.len() - 1;
         out.clear();
-        out.reserve(rows);
-        for r in 0..rows {
-            let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
-            let mut acc = 0.0;
-            for (c, w) in self.columns[lo..hi].iter().zip(&self.weights[lo..hi]) {
-                acc += w * x[*c as usize];
-            }
-            out.push(self.degrees[r] * x[self.start + r] - acc);
-        }
+        out.resize(rows, 0.0);
+        mec_linalg::kernels::csr_laplacian_matvec_deg(
+            &self.offsets,
+            &self.columns,
+            &self.weights,
+            &self.degrees,
+            x,
+            self.start,
+            out,
+        );
     }
 }
 

@@ -126,14 +126,7 @@ impl CsrAdjacency {
         let n = self.node_count();
         assert_eq!(x.len(), n, "x length mismatch");
         assert_eq!(y.len(), n, "y length mismatch");
-        for i in 0..n {
-            let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
-            let mut acc = 0.0;
-            for (c, w) in self.columns[lo..hi].iter().zip(&self.weights[lo..hi]) {
-                acc += w * x[*c as usize];
-            }
-            y[i] = acc;
-        }
+        mec_linalg::kernels::csr_matvec(&self.offsets, &self.columns, &self.weights, x, y);
     }
 
     /// Multiplies the graph **Laplacian** `L = D − A` against `x`,
@@ -147,16 +140,14 @@ impl CsrAdjacency {
         let n = self.node_count();
         assert_eq!(x.len(), n, "x length mismatch");
         assert_eq!(y.len(), n, "y length mismatch");
-        for i in 0..n {
-            let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
-            let mut acc = 0.0;
-            let mut deg = 0.0;
-            for (c, w) in self.columns[lo..hi].iter().zip(&self.weights[lo..hi]) {
-                acc += w * x[*c as usize];
-                deg += w;
-            }
-            y[i] = deg * x[i] - acc;
-        }
+        mec_linalg::kernels::csr_laplacian_matvec(
+            &self.offsets,
+            &self.columns,
+            &self.weights,
+            x,
+            0,
+            y,
+        );
     }
 
     /// Raw CSR parts `(offsets, columns, weights)`, e.g. for shipping

@@ -1,0 +1,605 @@
+//! Structure-of-arrays numeric kernels shared by every CSR operator.
+//!
+//! This module is the single home of the inner loops the profiler
+//! actually sees: the CSR (Laplacian) matrix-vector product, the dense
+//! dot/axpy/normalize trio under the Lanczos recurrence, and the
+//! sweep-cut boundary accumulation. Callers in `mec-graph`,
+//! `mec-spectral` and `mec-engine` hold their data in SoA form already
+//! (parallel `offsets` / `columns` / `weights` arrays); the kernels
+//! take those slices directly so there is exactly one implementation of
+//! each loop in the workspace.
+//!
+//! ## The `simd` feature and the scalar-parity contract
+//!
+//! With the `simd` cargo feature **off** (the default) every kernel is
+//! the plain sequential loop the callers used to inline, so results are
+//! bit-identical to builds that predate this module, and the feature
+//! check compiles away entirely.
+//!
+//! With the feature **on**, a process-wide switch
+//! ([`set_simd_enabled`]) selects hand-unrolled 4-lane variants written
+//! for instruction-level parallelism on stable Rust (the toolchain here
+//! has no `std::simd`; the unrolled forms are what the autovectorizer
+//! and out-of-order hardware want). Two parity classes apply:
+//!
+//! - **bit-exact**: the CSR matvec kernels block four *rows* per
+//!   iteration but keep each row's own accumulation strictly
+//!   sequential, and `axpy`/`scale` stay elementwise — these promise
+//!   bit-identical output in both modes (covered by exact-equality
+//!   proptests);
+//! - **1-ulp-scaled**: `dot`/`norm` use four independent partial sums
+//!   and `orthogonalize_against` projects against four basis vectors
+//!   per pass, which reassociates the reduction — these promise
+//!   agreement within a tolerance scaled to the accumulated magnitude.
+
+#[cfg(feature = "simd")]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Number of independent accumulator lanes in the unrolled kernels.
+///
+/// Four f64 chains cover a 128-bit SIMD unit with two-deep pipelining
+/// and match the ~4-cycle latency of a dependent FP add, so the
+/// unrolled loops keep the adder busy instead of waiting on one chain.
+pub const LANES: usize = 4;
+
+#[cfg(feature = "simd")]
+static SIMD_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// `true` when the unrolled 4-lane kernels are active.
+///
+/// Always `false` when the `simd` cargo feature is off, letting the
+/// compiler erase the dispatch branch entirely.
+#[inline(always)]
+pub fn simd_enabled() -> bool {
+    #[cfg(feature = "simd")]
+    {
+        SIMD_ENABLED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        false
+    }
+}
+
+/// Selects the kernel variant at runtime and returns the effective
+/// state. Without the `simd` cargo feature this is a no-op that always
+/// returns `false` — the scalar build has nothing to switch to, which
+/// is what makes feature-off builds reproduce historical results
+/// bit-for-bit.
+///
+/// The switch exists so one benchmark binary can measure both variants
+/// in a single process; library code never toggles it.
+pub fn set_simd_enabled(on: bool) -> bool {
+    #[cfg(feature = "simd")]
+    {
+        SIMD_ENABLED.store(on, Ordering::Relaxed);
+        on
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        let _ = on;
+        false
+    }
+}
+
+/// Name of the active kernel variant, for benchmark reports.
+pub fn kernel_name() -> &'static str {
+    if simd_enabled() {
+        "simd"
+    } else {
+        "scalar"
+    }
+}
+
+/// Column-index types a CSR kernel can walk (`u32` adjacency snapshots,
+/// `usize` general matrices).
+pub trait ColIndex: Copy {
+    /// Widens the stored column index to a `usize` offset into `x`.
+    fn index(self) -> usize;
+}
+
+impl ColIndex for u32 {
+    #[inline(always)]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl ColIndex for usize {
+    #[inline(always)]
+    fn index(self) -> usize {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dense vector kernels
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn dot_scalar(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn dot_unrolled(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    let chunks = n - n % LANES;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut k = 0;
+    while k < chunks {
+        a0 += x[k] * y[k];
+        a1 += x[k + 1] * y[k + 1];
+        a2 += x[k + 2] * y[k + 2];
+        a3 += x[k + 3] * y[k + 3];
+        k += LANES;
+    }
+    let mut tail = 0.0;
+    for i in chunks..n {
+        tail += x[i] * y[i];
+    }
+    ((a0 + a1) + (a2 + a3)) + tail
+}
+
+/// Dot product `xᵀy`. Reassociated under the 4-lane variant
+/// (1-ulp-scaled parity class).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        return dot_unrolled(x, y);
+    }
+    dot_scalar(x, y)
+}
+
+/// `y ← y + alpha · x`. Elementwise in both modes, so bit-exact.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha · x`. Elementwise in both modes, so bit-exact.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Removes from `x` its components along each (assumed orthonormal)
+/// vector in `basis`.
+///
+/// Scalar mode is one step of modified Gram–Schmidt, exactly the
+/// historical loop. The 4-lane variant projects against [`LANES`]
+/// basis vectors per pass (classical Gram–Schmidt within the block,
+/// with one fused subtraction sweep) — the callers in the Lanczos
+/// recurrence always orthogonalize twice, which is the classic
+/// "twice is enough" regime where the blocked form is stable. The
+/// block form reads `x` once per four basis vectors instead of four
+/// times, which is where the win comes from.
+///
+/// # Panics
+///
+/// Panics if any basis vector length differs from `x`.
+pub fn orthogonalize_against(x: &mut [f64], basis: &[Vec<f64>]) {
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        orthogonalize_blocked(x, basis);
+        return;
+    }
+    for b in basis {
+        let c = dot(x, b);
+        axpy(-c, b, x);
+    }
+}
+
+#[cfg(feature = "simd")]
+fn orthogonalize_blocked(x: &mut [f64], basis: &[Vec<f64>]) {
+    let mut chunks = basis.chunks_exact(LANES);
+    for block in &mut chunks {
+        let (b0, b1, b2, b3) = (&block[0], &block[1], &block[2], &block[3]);
+        assert_eq!(b0.len(), x.len(), "orthogonalize: length mismatch");
+        assert_eq!(b1.len(), x.len(), "orthogonalize: length mismatch");
+        assert_eq!(b2.len(), x.len(), "orthogonalize: length mismatch");
+        assert_eq!(b3.len(), x.len(), "orthogonalize: length mismatch");
+        // four independent dot chains over one pass of x
+        let (mut c0, mut c1, mut c2, mut c3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (i, &xi) in x.iter().enumerate() {
+            c0 += xi * b0[i];
+            c1 += xi * b1[i];
+            c2 += xi * b2[i];
+            c3 += xi * b3[i];
+        }
+        // one fused subtraction sweep for the whole block
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = ((*xi - c0 * b0[i]) - c1 * b1[i]) - (c2 * b2[i] + c3 * b3[i]);
+        }
+    }
+    for b in chunks.remainder() {
+        let c = dot(x, b);
+        axpy(-c, b, x);
+    }
+}
+
+/// Euclidean norm `‖x‖₂`. Same parity class as [`dot`].
+#[inline]
+pub fn norm(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Normalises `x` to unit length in place and returns the original
+/// norm. Leaves a zero vector untouched and returns `0.0`.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+// ---------------------------------------------------------------------------
+// CSR kernels
+// ---------------------------------------------------------------------------
+
+/// Plain CSR matrix-vector product: `y[r] = Σ values·x[col]` for each
+/// of the `offsets.len() - 1` rows. Columns index the full-length `x`;
+/// `y` is row-block local. Bit-exact in both modes: the 4-lane variant
+/// interleaves four rows but keeps every row's accumulation sequential.
+///
+/// # Panics
+///
+/// Panics if `y` has fewer rows than `offsets` describes.
+pub fn csr_matvec<C: ColIndex>(
+    offsets: &[usize],
+    columns: &[C],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let rows = offsets.len() - 1;
+    assert!(y.len() >= rows, "y length mismatch");
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let blocks = rows - rows % LANES;
+        let mut r = 0;
+        while r < blocks {
+            let o = [offsets[r], offsets[r + 1], offsets[r + 2], offsets[r + 3]];
+            let end = offsets[r + 4];
+            let lens = [o[1] - o[0], o[2] - o[1], o[3] - o[2], end - o[3]];
+            let m = lens[0].min(lens[1]).min(lens[2]).min(lens[3]);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            // lock-step across four rows: independent chains, each row
+            // still accumulates in its own sequential order
+            for k in 0..m {
+                a0 += values[o[0] + k] * x[columns[o[0] + k].index()];
+                a1 += values[o[1] + k] * x[columns[o[1] + k].index()];
+                a2 += values[o[2] + k] * x[columns[o[2] + k].index()];
+                a3 += values[o[3] + k] * x[columns[o[3] + k].index()];
+            }
+            for k in m..lens[0] {
+                a0 += values[o[0] + k] * x[columns[o[0] + k].index()];
+            }
+            for k in m..lens[1] {
+                a1 += values[o[1] + k] * x[columns[o[1] + k].index()];
+            }
+            for k in m..lens[2] {
+                a2 += values[o[2] + k] * x[columns[o[2] + k].index()];
+            }
+            for k in m..lens[3] {
+                a3 += values[o[3] + k] * x[columns[o[3] + k].index()];
+            }
+            y[r] = a0;
+            y[r + 1] = a1;
+            y[r + 2] = a2;
+            y[r + 3] = a3;
+            r += LANES;
+        }
+        for r in blocks..rows {
+            y[r] = row_dot(
+                &columns[offsets[r]..offsets[r + 1]],
+                &values[offsets[r]..offsets[r + 1]],
+                x,
+            );
+        }
+        return;
+    }
+    for r in 0..rows {
+        y[r] = row_dot(
+            &columns[offsets[r]..offsets[r + 1]],
+            &values[offsets[r]..offsets[r + 1]],
+            x,
+        );
+    }
+}
+
+#[inline(always)]
+fn row_dot<C: ColIndex>(columns: &[C], values: &[f64], x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (c, v) in columns.iter().zip(values) {
+        acc += v * x[c.index()];
+    }
+    acc
+}
+
+#[inline(always)]
+fn row_lap<C: ColIndex>(columns: &[C], weights: &[f64], x: &[f64]) -> (f64, f64) {
+    let mut acc = 0.0;
+    let mut deg = 0.0;
+    for (c, w) in columns.iter().zip(weights) {
+        acc += w * x[c.index()];
+        deg += w;
+    }
+    (acc, deg)
+}
+
+/// Graph-Laplacian matvec `y[r] = deg_r · x[x_base + r] − Σ w·x[col]`
+/// with the weighted degree accumulated in-loop (the adjacency-snapshot
+/// form). `x_base` offsets the diagonal term for row blocks whose rows
+/// start partway into `x`; columns always index the full-length `x`.
+/// Bit-exact in both modes.
+///
+/// # Panics
+///
+/// Panics if `y` has fewer rows than `offsets` describes.
+pub fn csr_laplacian_matvec<C: ColIndex>(
+    offsets: &[usize],
+    columns: &[C],
+    weights: &[f64],
+    x: &[f64],
+    x_base: usize,
+    y: &mut [f64],
+) {
+    let rows = offsets.len() - 1;
+    assert!(y.len() >= rows, "y length mismatch");
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let blocks = rows - rows % LANES;
+        let mut r = 0;
+        while r < blocks {
+            let o = [offsets[r], offsets[r + 1], offsets[r + 2], offsets[r + 3]];
+            let end = offsets[r + 4];
+            let lens = [o[1] - o[0], o[2] - o[1], o[3] - o[2], end - o[3]];
+            let m = lens[0].min(lens[1]).min(lens[2]).min(lens[3]);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut d0, mut d1, mut d2, mut d3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for k in 0..m {
+                let (w0, w1) = (weights[o[0] + k], weights[o[1] + k]);
+                let (w2, w3) = (weights[o[2] + k], weights[o[3] + k]);
+                a0 += w0 * x[columns[o[0] + k].index()];
+                d0 += w0;
+                a1 += w1 * x[columns[o[1] + k].index()];
+                d1 += w1;
+                a2 += w2 * x[columns[o[2] + k].index()];
+                d2 += w2;
+                a3 += w3 * x[columns[o[3] + k].index()];
+                d3 += w3;
+            }
+            for k in m..lens[0] {
+                a0 += weights[o[0] + k] * x[columns[o[0] + k].index()];
+                d0 += weights[o[0] + k];
+            }
+            for k in m..lens[1] {
+                a1 += weights[o[1] + k] * x[columns[o[1] + k].index()];
+                d1 += weights[o[1] + k];
+            }
+            for k in m..lens[2] {
+                a2 += weights[o[2] + k] * x[columns[o[2] + k].index()];
+                d2 += weights[o[2] + k];
+            }
+            for k in m..lens[3] {
+                a3 += weights[o[3] + k] * x[columns[o[3] + k].index()];
+                d3 += weights[o[3] + k];
+            }
+            y[r] = d0 * x[x_base + r] - a0;
+            y[r + 1] = d1 * x[x_base + r + 1] - a1;
+            y[r + 2] = d2 * x[x_base + r + 2] - a2;
+            y[r + 3] = d3 * x[x_base + r + 3] - a3;
+            r += LANES;
+        }
+        for r in blocks..rows {
+            let (acc, deg) = row_lap(
+                &columns[offsets[r]..offsets[r + 1]],
+                &weights[offsets[r]..offsets[r + 1]],
+                x,
+            );
+            y[r] = deg * x[x_base + r] - acc;
+        }
+        return;
+    }
+    for r in 0..rows {
+        let (acc, deg) = row_lap(
+            &columns[offsets[r]..offsets[r + 1]],
+            &weights[offsets[r]..offsets[r + 1]],
+            x,
+        );
+        y[r] = deg * x[x_base + r] - acc;
+    }
+}
+
+/// Graph-Laplacian matvec with **precomputed** weighted degrees
+/// (`y[r] = degrees[r] · x[x_base + r] − Σ w·x[col]`), the row-block
+/// form used by the parallel engine. Bit-exact in both modes.
+///
+/// # Panics
+///
+/// Panics if `degrees` or `y` has fewer rows than `offsets` describes.
+pub fn csr_laplacian_matvec_deg<C: ColIndex>(
+    offsets: &[usize],
+    columns: &[C],
+    weights: &[f64],
+    degrees: &[f64],
+    x: &[f64],
+    x_base: usize,
+    y: &mut [f64],
+) {
+    let rows = offsets.len() - 1;
+    assert!(degrees.len() >= rows, "degrees length mismatch");
+    assert!(y.len() >= rows, "y length mismatch");
+    // the adjacency part is a plain matvec; fold in the diagonal after
+    csr_matvec(offsets, columns, weights, x, y);
+    for r in 0..rows {
+        y[r] = degrees[r] * x[x_base + r] - y[r];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sweep-cut kernel
+// ---------------------------------------------------------------------------
+
+/// Advances the running sweep-cut boundary weight when one vertex moves
+/// to the `local` side: every incident edge whose other endpoint is
+/// already local leaves the boundary (`cut − w`), every other edge
+/// joins it (`cut + w`). `columns`/`weights` are the vertex's SoA
+/// adjacency row; `local` is the membership array the sweep maintains.
+///
+/// Scalar mode folds into `cut` in row order — exactly the historical
+/// loop. The 4-lane variant accumulates the signed row sum in four
+/// independent chains, which reassociates the fold (1-ulp-scaled
+/// parity class).
+#[inline]
+pub fn sweep_boundary_update<C: ColIndex>(
+    mut cut: f64,
+    columns: &[C],
+    weights: &[f64],
+    local: &[bool],
+) -> f64 {
+    #[cfg(feature = "simd")]
+    if simd_enabled() {
+        let n = columns.len();
+        let chunks = n - n % LANES;
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut k = 0;
+        while k < chunks {
+            // branchless sign select keeps the four chains independent
+            let s0 = if local[columns[k].index()] {
+                -weights[k]
+            } else {
+                weights[k]
+            };
+            let s1 = if local[columns[k + 1].index()] {
+                -weights[k + 1]
+            } else {
+                weights[k + 1]
+            };
+            let s2 = if local[columns[k + 2].index()] {
+                -weights[k + 2]
+            } else {
+                weights[k + 2]
+            };
+            let s3 = if local[columns[k + 3].index()] {
+                -weights[k + 3]
+            } else {
+                weights[k + 3]
+            };
+            a0 += s0;
+            a1 += s1;
+            a2 += s2;
+            a3 += s3;
+            k += LANES;
+        }
+        for i in chunks..n {
+            let w = weights[i];
+            a0 += if local[columns[i].index()] { -w } else { w };
+        }
+        return cut + ((a0 + a1) + (a2 + a3));
+    }
+    for (c, w) in columns.iter().zip(weights) {
+        if local[c.index()] {
+            cut -= w;
+        } else {
+            cut += w;
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_reference() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn matvec_small() {
+        // [[1,2],[2,-1]] * [3,4] = [11, 2]
+        let offsets = [0usize, 2, 4];
+        let columns = [0u32, 1, 0, 1];
+        let values = [1.0, 2.0, 2.0, -1.0];
+        let mut y = [0.0; 2];
+        csr_matvec(&offsets, &columns, &values, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [11.0, 2.0]);
+    }
+
+    #[test]
+    fn laplacian_annihilates_constants() {
+        // triangle, unit weights
+        let offsets = [0usize, 2, 4, 6];
+        let columns = [1u32, 2, 0, 2, 0, 1];
+        let weights = [1.0; 6];
+        let mut y = [9.0; 3];
+        csr_laplacian_matvec(&offsets, &columns, &weights, &[5.0; 3], 0, &mut y);
+        for v in y {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn precomputed_degrees_match_inloop() {
+        let offsets = [0usize, 2, 4, 6];
+        let columns = [1usize, 2, 0, 2, 0, 1];
+        let weights = [1.0, 3.0, 1.0, 2.0, 3.0, 2.0];
+        let degrees = [4.0, 3.0, 5.0];
+        let x = [0.5, -1.5, 2.0];
+        let (mut a, mut b) = ([0.0; 3], [0.0; 3]);
+        csr_laplacian_matvec(&offsets, &columns, &weights, &x, 0, &mut a);
+        csr_laplacian_matvec_deg(&offsets, &columns, &weights, &degrees, &x, 0, &mut b);
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_update_signs() {
+        let columns = [0u32, 1, 2];
+        let weights = [1.0, 2.0, 4.0];
+        let local = [true, false, true];
+        // -1 + 2 - 4 = -3 on top of cut = 10
+        assert_eq!(sweep_boundary_update(10.0, &columns, &weights, &local), 7.0);
+    }
+
+    #[test]
+    fn mode_switch_reports_variant() {
+        // feature off: always scalar; feature on: toggles both ways
+        if cfg!(feature = "simd") {
+            assert!(set_simd_enabled(true));
+            assert_eq!(kernel_name(), "simd");
+            assert!(!set_simd_enabled(false));
+            assert_eq!(kernel_name(), "scalar");
+            set_simd_enabled(true);
+        } else {
+            assert!(!set_simd_enabled(true));
+            assert_eq!(kernel_name(), "scalar");
+        }
+    }
+}

@@ -56,6 +56,7 @@ mod cg;
 mod dense;
 mod error;
 mod householder;
+pub mod kernels;
 mod lanczos;
 mod power;
 mod refine;

@@ -149,14 +149,7 @@ impl SymOp for CsrMatrix {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.dim, "x length mismatch");
         assert_eq!(y.len(), self.dim, "y length mismatch");
-        for r in 0..self.dim {
-            let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
-            let mut acc = 0.0;
-            for (c, v) in self.columns[lo..hi].iter().zip(&self.values[lo..hi]) {
-                acc += v * x[*c];
-            }
-            y[r] = acc;
-        }
+        crate::kernels::csr_matvec(&self.offsets, &self.columns, &self.values, x, y);
     }
 }
 

@@ -2,7 +2,10 @@
 //!
 //! These are deliberately plain free functions over `&[f64]` — the
 //! callers (Lanczos, CG, the parallel engine) own their storage and
-//! only need the arithmetic.
+//! only need the arithmetic. The arithmetic itself lives in
+//! [`crate::kernels`], which selects between the sequential loops and
+//! the unrolled 4-lane variants behind the `simd` cargo feature; see
+//! that module for the scalar-parity contract.
 
 /// Dot product `xᵀy`.
 ///
@@ -11,14 +14,13 @@
 /// Panics if the slices differ in length.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    crate::kernels::dot(x, y)
 }
 
 /// Euclidean norm `‖x‖₂`.
 #[inline]
 pub fn norm(x: &[f64]) -> f64 {
-    dot(x, x).sqrt()
+    crate::kernels::norm(x)
 }
 
 /// `y ← y + alpha · x`.
@@ -28,41 +30,30 @@ pub fn norm(x: &[f64]) -> f64 {
 /// Panics if the slices differ in length.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::kernels::axpy(alpha, x, y)
 }
 
 /// `x ← alpha · x`.
 #[inline]
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for xi in x {
-        *xi *= alpha;
-    }
+    crate::kernels::scale(alpha, x)
 }
 
 /// Normalises `x` to unit length in place and returns the original
 /// norm. Leaves a zero vector untouched and returns `0.0`.
 pub fn normalize(x: &mut [f64]) -> f64 {
-    let n = norm(x);
-    if n > 0.0 {
-        scale(1.0 / n, x);
-    }
-    n
+    crate::kernels::normalize(x)
 }
 
 /// Removes from `x` its components along each (assumed orthonormal)
-/// vector in `basis` — one step of modified Gram–Schmidt.
+/// vector in `basis` — one step of modified Gram–Schmidt (blocked
+/// classical Gram–Schmidt under the 4-lane kernels).
 ///
 /// # Panics
 ///
 /// Panics if any basis vector length differs from `x`.
 pub fn orthogonalize_against(x: &mut [f64], basis: &[Vec<f64>]) {
-    for b in basis {
-        let c = dot(x, b);
-        axpy(-c, b, x);
-    }
+    crate::kernels::orthogonalize_against(x, basis)
 }
 
 /// Maximum absolute component, `‖x‖∞`; `0.0` for an empty slice.
