@@ -1,7 +1,9 @@
 //! The spectral hot-path benchmark (perf PR artefact).
 //!
-//! Measures the Fig. 9 multi-user front-end — compression followed by
-//! recursive Fiedler cuts of every compressed component — two ways:
+//! Measures the Fig. 9 multi-user front-end — recursive Fiedler cuts
+//! of every compressed component. Scenario generation and compression
+//! run once, untimed; the timed region is the partitioning of the
+//! pre-compressed quotient graphs, measured two ways:
 //!
 //! - **baseline**: the pre-scratch-arena shape of the code. Every
 //!   recursion level materialises an owned sub-graph
@@ -80,6 +82,10 @@ impl Default for HotpathSpec {
 pub struct HotpathMeasurement {
     /// Which implementation this row measured.
     pub label: String,
+    /// Numeric-kernel variant active during the measurement
+    /// (`"scalar"` or `"simd"`); reports predating the kernel layer
+    /// omit the field and are read as `"scalar"`.
+    pub kernel: String,
     /// Mean wall-clock seconds per front-end run.
     pub seconds: f64,
     /// Heap allocations per run (`None` without a counting allocator).
@@ -101,10 +107,16 @@ pub struct HotpathReport {
     pub spec: HotpathSpec,
     /// Pre-PR shape: owned sub-graphs, cold Lanczos, fresh buffers.
     pub baseline: HotpathMeasurement,
-    /// Current shape: CsrView + CutScratch + warm-started Lanczos.
+    /// Current shape: CsrView + CutScratch + warm-started Lanczos,
+    /// scalar kernels.
     pub optimized: HotpathMeasurement,
+    /// The optimized shape under the unrolled 4-lane kernels; `None`
+    /// when the binary was built without the `simd` cargo feature.
+    pub optimized_simd: Option<HotpathMeasurement>,
     /// `baseline.seconds / optimized.seconds`.
     pub speedup: f64,
+    /// `optimized.seconds / optimized_simd.seconds`, when measured.
+    pub simd_speedup: Option<f64>,
     /// `baseline.allocations / optimized.allocations`, when measured.
     pub alloc_ratio: Option<f64>,
 }
@@ -202,6 +214,7 @@ fn measure(
     };
     Ok(HotpathMeasurement {
         label: label.to_string(),
+        kernel: mec_linalg::kernels::kernel_name().to_string(),
         seconds,
         allocations: per_iter(|s| s.allocations),
         allocated_bytes: per_iter(|s| s.allocated_bytes),
@@ -232,26 +245,43 @@ pub fn run(spec: &HotpathSpec, probe: AllocProbe<'_>) -> Result<HotpathReport, P
     let graphs: Vec<Graph> = (0..spec.users)
         .map(|i| runtime_graph(spec.nodes, spec.seed + i as u64))
         .collect();
+    // scenario generation AND compression are hoisted out of the timed
+    // closures: both sides partition the same pre-compressed quotient
+    // graphs, so the timings isolate the spectral hot path instead of
+    // being drowned by netgen + labelprop time that is identical on
+    // every side
     let compressor = Compressor::new(CompressionConfig::default());
+    let quotients: Vec<Graph> = graphs
+        .iter()
+        .flat_map(|g| {
+            compressor
+                .compress(g)
+                .components
+                .iter()
+                .map(|comp| comp.quotient.graph().clone())
+                .collect::<Vec<Graph>>()
+        })
+        .collect();
     let depth = spec.depth;
+
+    // both reference sides run on the scalar kernels, whatever mode the
+    // process was in; the prior mode is restored before returning
+    let prior_simd = mec_linalg::kernels::simd_enabled();
+    mec_linalg::kernels::set_simd_enabled(false);
 
     let baseline = measure(
         "owned-subgraph cold-start (pre-PR shape)",
         spec,
         probe,
-        |graphs| {
+        |quotients| {
             let mut acc = (0usize, 0.0f64);
-            for g in graphs {
-                let outcome = compressor.compress(g);
-                for comp in &outcome.components {
-                    let quotient = comp.quotient.graph();
-                    let p = baseline_partition(quotient, depth, 2)?;
-                    tally(&mut acc, &p, quotient);
-                }
+            for quotient in quotients {
+                let p = baseline_partition(quotient, depth, 2)?;
+                tally(&mut acc, &p, quotient);
             }
             Ok(acc)
         },
-        &graphs,
+        &quotients,
     )?;
 
     let optimized_bisector =
@@ -262,28 +292,40 @@ pub fn run(spec: &HotpathSpec, probe: AllocProbe<'_>) -> Result<HotpathReport, P
                 ..LanczosOptions::default()
             });
     let mut scratch = CutScratch::new();
-    let optimized = measure(
-        "csr-view scratch-arena warm-start",
-        spec,
-        probe,
-        |graphs| {
-            let mut acc = (0usize, 0.0f64);
-            for g in graphs {
-                let outcome = compressor.compress(g);
-                for comp in &outcome.components {
-                    let quotient = comp.quotient.graph();
+    let mut optimized_run = |label: &str| {
+        measure(
+            label,
+            spec,
+            probe,
+            |quotients| {
+                let mut acc = (0usize, 0.0f64);
+                for quotient in quotients {
                     let p = optimized_bisector
                         .partition_reusing(quotient, &mut scratch)
                         .map_err(|e| PipelineError::Cut(e.into()))?;
                     tally(&mut acc, &p, quotient);
                 }
-            }
-            Ok(acc)
-        },
-        &graphs,
-    )?;
+                Ok(acc)
+            },
+            &quotients,
+        )
+    };
+    let optimized = optimized_run("csr-view scratch-arena warm-start")?;
+
+    // the same hot path again under the unrolled kernels, when the
+    // binary carries them — one process measures both variants so the
+    // report's scalar/simd rows share every other condition
+    let optimized_simd = if mec_linalg::kernels::set_simd_enabled(true) {
+        Some(optimized_run("csr-view scratch-arena warm-start")?)
+    } else {
+        None
+    };
+    mec_linalg::kernels::set_simd_enabled(prior_simd);
 
     let speedup = baseline.seconds / optimized.seconds;
+    let simd_speedup = optimized_simd
+        .as_ref()
+        .map(|s| optimized.seconds / s.seconds);
     let alloc_ratio = baseline
         .allocations
         .zip(optimized.allocations)
@@ -292,7 +334,9 @@ pub fn run(spec: &HotpathSpec, probe: AllocProbe<'_>) -> Result<HotpathReport, P
         spec: *spec,
         baseline,
         optimized,
+        optimized_simd,
         speedup,
+        simd_speedup,
         alloc_ratio,
     })
 }

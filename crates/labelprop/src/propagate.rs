@@ -3,7 +3,6 @@
 use crate::{CompressionConfig, TraversalPolicy};
 use mec_graph::{Graph, NodeId};
 use mec_obs::{FieldValue, TraceSink};
-use std::collections::HashMap;
 
 /// Result of running label propagation on one sub-graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,30 +175,48 @@ pub fn propagate_labels_traced(
         emit_round(1, n, 1.0, &labels);
     }
 
-    // refinement rounds: adopt the heaviest-coupled neighbouring label
+    // refinement rounds: adopt the heaviest-coupled neighbouring label.
+    // Labels are minted densely (every value < next_label), so the
+    // per-node score accumulation runs over a flat SoA buffer indexed
+    // by label — no hashing, no per-node allocation. `mark` carries an
+    // epoch per label so the buffer resets in O(touched) per node.
+    // Per-label weights still sum in neighbour order and the selection
+    // rule is the same total order (heaviest weight, then smallest
+    // label), so labels come out identical to the hashed version.
+    let mut scores = vec![0.0f64; next_label];
+    let mut mark = vec![0u64; next_label];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut epoch = 0u64;
     while rounds < config.max_rounds {
         let mut updates = 0usize;
         for &u in &order {
-            let mut scores: HashMap<usize, f64> = HashMap::new();
+            epoch += 1;
+            touched.clear();
             for nb in g.neighbors(u) {
                 let w = g.edge_weight(nb.edge);
                 if w >= threshold {
-                    *scores.entry(labels[nb.node.index()]).or_insert(0.0) += w;
+                    let l = labels[nb.node.index()];
+                    if mark[l] != epoch {
+                        mark[l] = epoch;
+                        scores[l] = 0.0;
+                        touched.push(l);
+                    }
+                    scores[l] += w;
                 }
             }
-            if scores.is_empty() {
+            if touched.is_empty() {
                 continue;
             }
             let current = labels[u.index()];
-            let best = scores
-                .iter()
-                .max_by(|(la, wa), (lb, wb)| {
-                    wa.partial_cmp(wb)
-                        .expect("weights are finite")
-                        .then(lb.cmp(la))
-                })
-                .map(|(&l, _)| l)
-                .expect("scores is non-empty");
+            let mut best = touched[0];
+            let mut best_score = scores[best];
+            for &l in &touched[1..] {
+                let s = scores[l];
+                if s > best_score || (s == best_score && l < best) {
+                    best = l;
+                    best_score = s;
+                }
+            }
             if best != current {
                 labels[u.index()] = best;
                 updates += 1;
@@ -228,6 +245,7 @@ mod tests {
     use super::*;
     use crate::ThresholdRule;
     use mec_graph::GraphBuilder;
+    use std::collections::HashMap;
 
     /// Two heavy triangles joined by one light edge.
     fn dumbbell() -> Graph {

@@ -1,0 +1,249 @@
+//! Scalar ↔ unrolled-kernel parity properties.
+//!
+//! Every kernel in `mec_linalg::kernels` belongs to one of two parity
+//! classes (documented on the kernel itself):
+//!
+//! * **bit-exact** — the 4-lane variant keeps each output element's
+//!   accumulation order identical to the scalar loop (matvec
+//!   interleaves rows but never reassociates within a row; axpy and
+//!   scale are elementwise). Compared here via `to_bits`.
+//! * **1-ulp-scaled** — reductions split into four independent chains
+//!   (dot, norm, the sweep boundary fold, blocked Gram–Schmidt)
+//!   reassociate the sum. Compared against a tolerance proportional to
+//!   machine epsilon times the magnitude actually accumulated.
+//!
+//! Without `--features simd` the mode switch is inert
+//! (`set_simd_enabled(true)` reports `false`) and both runs take the
+//! scalar path, so the suite passes trivially; CI runs the test matrix
+//! in both feature states so the real comparison is always exercised.
+//! Tests serialise on a local mutex because the mode switch is process
+//! global and the harness runs tests concurrently.
+
+use mec_linalg::kernels;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static MODE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once in scalar mode and once with the unrolled kernels
+/// (when compiled in), restoring the prior mode after.
+fn both_modes<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    let _guard = MODE.lock().unwrap_or_else(|e| e.into_inner());
+    let prior = kernels::simd_enabled();
+    kernels::set_simd_enabled(false);
+    let scalar = f();
+    kernels::set_simd_enabled(true);
+    let unrolled = f();
+    kernels::set_simd_enabled(prior);
+    (scalar, unrolled)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A random CSR matrix in raw SoA form, plus a dense input vector.
+/// Columns are `u32` (the adjacency-snapshot index type); rows have
+/// uneven lengths so the 4-row lock-step hits its per-row tails.
+#[derive(Debug, Clone)]
+struct CsrCase {
+    offsets: Vec<usize>,
+    columns: Vec<u32>,
+    values: Vec<f64>,
+    x: Vec<f64>,
+}
+
+fn arb_csr() -> impl Strategy<Value = CsrCase> {
+    (1usize..24, 1usize..24).prop_flat_map(|(rows, cols)| {
+        let row_lens = proptest::collection::vec(0usize..8, rows);
+        let pool = proptest::collection::vec(((0..cols as u32), -5.0f64..5.0), rows * 8);
+        let xs = proptest::collection::vec(-5.0f64..5.0, cols);
+        (row_lens, pool, xs).prop_map(|(lens, pool, x)| {
+            let mut offsets = vec![0usize];
+            let mut columns = Vec::new();
+            let mut values = Vec::new();
+            let mut cursor = 0;
+            for len in lens {
+                for _ in 0..len {
+                    let (c, v) = pool[cursor % pool.len()];
+                    columns.push(c);
+                    values.push(v);
+                    cursor += 1;
+                }
+                offsets.push(columns.len());
+            }
+            CsrCase {
+                offsets,
+                columns,
+                values,
+                x,
+            }
+        })
+    })
+}
+
+fn arb_vec_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1usize..200).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-5.0f64..5.0, n),
+            proptest::collection::vec(-5.0f64..5.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -- bit-exact class ---------------------------------------------------
+
+    #[test]
+    fn csr_matvec_is_bit_exact_across_modes(case in arb_csr()) {
+        let rows = case.offsets.len() - 1;
+        let (a, b) = both_modes(|| {
+            let mut y = vec![0.0; rows];
+            kernels::csr_matvec(&case.offsets, &case.columns, &case.values, &case.x, &mut y);
+            y
+        });
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn csr_laplacian_matvec_is_bit_exact_across_modes(case in arb_csr()) {
+        // the diagonal term reads x[x_base + r], so x must cover the
+        // row range too: extend it when the matrix is tall
+        let rows = case.offsets.len() - 1;
+        let mut x = case.x.clone();
+        x.resize(x.len().max(rows), 1.0);
+        let (a, b) = both_modes(|| {
+            let mut y = vec![0.0; rows];
+            kernels::csr_laplacian_matvec(
+                &case.offsets, &case.columns, &case.values, &x, 0, &mut y,
+            );
+            y
+        });
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn csr_laplacian_matvec_deg_is_bit_exact_across_modes(case in arb_csr()) {
+        let rows = case.offsets.len() - 1;
+        let mut x = case.x.clone();
+        x.resize(x.len().max(rows), 1.0);
+        let degrees: Vec<f64> = (0..rows)
+            .map(|r| case.values[case.offsets[r]..case.offsets[r + 1]].iter().sum())
+            .collect();
+        let (a, b) = both_modes(|| {
+            let mut y = vec![0.0; rows];
+            kernels::csr_laplacian_matvec_deg(
+                &case.offsets, &case.columns, &case.values, &degrees, &x, 0, &mut y,
+            );
+            y
+        });
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn axpy_is_bit_exact_across_modes((x, y) in arb_vec_pair(), alpha in -3.0f64..3.0) {
+        let (a, b) = both_modes(|| {
+            let mut out = y.clone();
+            kernels::axpy(alpha, &x, &mut out);
+            out
+        });
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn scale_is_bit_exact_across_modes((x, _) in arb_vec_pair(), alpha in -3.0f64..3.0) {
+        let (a, b) = both_modes(|| {
+            let mut out = x.clone();
+            kernels::scale(alpha, &mut out);
+            out
+        });
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    // -- reassociated (1-ulp-scaled) class ---------------------------------
+
+    #[test]
+    fn dot_parity_within_scaled_tolerance((x, y) in arb_vec_pair()) {
+        let (a, b) = both_modes(|| kernels::dot(&x, &y));
+        // reassociating a length-n sum perturbs it by at most O(n·eps)
+        // of the accumulated magnitude
+        let scale: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+        let tol = 8.0 * f64::EPSILON * (x.len() as f64 + 1.0) * scale;
+        prop_assert!((a - b).abs() <= tol, "dot drift {} > tol {}", (a - b).abs(), tol);
+    }
+
+    #[test]
+    fn norm_parity_within_scaled_tolerance((x, _) in arb_vec_pair()) {
+        let (a, b) = both_modes(|| kernels::norm(&x));
+        let tol = 8.0 * f64::EPSILON * (x.len() as f64 + 1.0) * (1.0 + a);
+        prop_assert!((a - b).abs() <= tol, "norm drift {} > tol {}", (a - b).abs(), tol);
+    }
+
+    #[test]
+    fn normalize_parity_within_scaled_tolerance((x, _) in arb_vec_pair()) {
+        let (a, b) = both_modes(|| {
+            let mut v = x.clone();
+            let n = kernels::normalize(&mut v);
+            (n, v)
+        });
+        let tol = 16.0 * f64::EPSILON * (x.len() as f64 + 1.0) * (1.0 + a.0);
+        prop_assert!((a.0 - b.0).abs() <= tol);
+        for (s, u) in a.1.iter().zip(&b.1) {
+            prop_assert!((s - u).abs() <= 16.0 * f64::EPSILON * (x.len() as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn sweep_boundary_update_parity(case in arb_csr(), cut in 0.0f64..1e6) {
+        let local: Vec<bool> = case.x.iter().map(|v| *v > 0.0).collect();
+        let (a, b) = both_modes(|| {
+            kernels::sweep_boundary_update(cut, &case.columns, &case.values, &local)
+        });
+        let scale: f64 = case.values.iter().map(|w| w.abs()).sum::<f64>() + cut.abs();
+        let tol = 8.0 * f64::EPSILON * (case.values.len() as f64 + 1.0) * scale;
+        prop_assert!((a - b).abs() <= tol, "cut drift {} > tol {}", (a - b).abs(), tol);
+    }
+
+    #[test]
+    fn orthogonalize_parity_against_orthonormal_basis(
+        seed in proptest::collection::vec(-1.0f64..1.0, 24..96),
+        k in 1usize..7,
+    ) {
+        // build an orthonormal basis deterministically (scalar mode) so
+        // both modes project against the same vectors; blocked CGS and
+        // sequential MGS then agree to rounding because cross terms
+        // b_i·b_j are already at machine-epsilon level
+        let n = seed.len();
+        let _guard = MODE.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = kernels::simd_enabled();
+        kernels::set_simd_enabled(false);
+        let mut basis: Vec<Vec<f64>> = Vec::new();
+        for j in 0..k {
+            let mut v: Vec<f64> = (0..n)
+                .map(|i| seed[(i * (j + 2) + j) % n] + if i % (j + 1) == 0 { 0.5 } else { 0.0 })
+                .collect();
+            kernels::orthogonalize_against(&mut v, &basis);
+            if kernels::normalize(&mut v) > 1e-9 {
+                basis.push(v);
+            }
+        }
+        let run = |on: bool| {
+            kernels::set_simd_enabled(on);
+            let mut x = seed.clone();
+            kernels::orthogonalize_against(&mut x, &basis);
+            x
+        };
+        let scalar = run(false);
+        let unrolled = run(true);
+        kernels::set_simd_enabled(prior);
+        let scale = 1.0 + seed.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        for (s, u) in scalar.iter().zip(&unrolled) {
+            prop_assert!(
+                (s - u).abs() <= 1e-10 * scale,
+                "orthogonalize drift {}", (s - u).abs()
+            );
+        }
+    }
+}

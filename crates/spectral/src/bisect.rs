@@ -4,7 +4,7 @@ use crate::laplacian::CsrLaplacian;
 use crate::{CutScratch, SpectralError};
 use mec_engine::{Cluster, ParallelLaplacian};
 use mec_graph::{Bipartition, CsrAdjacency, Graph, NodeId, Side};
-use mec_linalg::{smallest_eigenpairs_with, Eigenpair, LanczosOptions};
+use mec_linalg::{kernels, smallest_eigenpairs_with, Eigenpair, LanczosOptions};
 use mec_obs::{FieldValue, TraceSink};
 use std::sync::Arc;
 
@@ -318,11 +318,12 @@ enum SweepObjective {
 /// the ordering break by node id, ties in score by the more balanced
 /// split.
 ///
-/// Works off the CSR snapshot instead of chasing `g.neighbors` +
-/// `edge_weight` pointers per candidate prefix; CSR rows list the same
-/// neighbours in the same order, so the incremental cut accumulation
-/// is bit-identical to the pointer-chasing version. `order` and
-/// `local` are pooled scratch buffers.
+/// Works off the CSR snapshot's SoA `columns`/`weights` slices instead
+/// of chasing `g.neighbors` + `edge_weight` pointers per candidate
+/// prefix; CSR rows list the same neighbours in the same order, and the
+/// boundary kernel folds in row order under the scalar kernels, so the
+/// incremental cut accumulation is bit-identical to the pointer-chasing
+/// version. `order` and `local` are pooled scratch buffers.
 fn sweep_cut(
     csr: &CsrAdjacency,
     v: &[f64],
@@ -342,17 +343,14 @@ fn sweep_cut(
     });
     local.clear();
     local.resize(n, false);
+    let (offsets, columns, weights) = csr.as_parts();
     let mut cut = 0.0f64;
     let mut best = (f64::INFINITY, 0usize, usize::MAX); // (weight, |k - n/2| dist, k)
     for (k, &node) in order.iter().enumerate().take(n - 1) {
-        // moving `node` from Remote to Local
-        for (nb, w) in csr.row(NodeId::new(node)) {
-            if local[nb.index()] {
-                cut -= w; // edge no longer crosses
-            } else {
-                cut += w; // edge starts crossing
-            }
-        }
+        // moving `node` from Remote to Local: edges into the prefix
+        // leave the boundary, edges out of it start crossing
+        let (lo, hi) = (offsets[node], offsets[node + 1]);
+        cut = kernels::sweep_boundary_update(cut, &columns[lo..hi], &weights[lo..hi], local);
         local[node] = true;
         let prefix = k + 1;
         let balance_dist = prefix.abs_diff(n / 2);

@@ -18,7 +18,7 @@ use crate::bisect::DEFAULT_SERIAL_CUTOFF;
 use crate::laplacian::CsrLaplacian;
 use crate::{CutScratch, SpectralError, SplitRule};
 use mec_graph::{CsrView, Graph, NodeId};
-use mec_linalg::{smallest_eigenpairs_with, Eigenpair, LanczosOptions};
+use mec_linalg::{kernels, smallest_eigenpairs_with, Eigenpair, LanczosOptions};
 
 const OUTSIDE: u32 = CsrView::OUTSIDE;
 
@@ -311,7 +311,8 @@ impl RecursiveBisector {
 /// Compact-CSR sweep: prices every prefix of the Fiedler ordering
 /// incrementally (same tie-breaks as the flat bisector's sweep) and
 /// marks the winning prefix in `local`. Returns whether the split is
-/// proper.
+/// proper. The per-vertex boundary update reads the CSR's SoA
+/// `columns`/`weights` slices through the shared sweep kernel.
 fn sweep_sides(
     csr: &mec_graph::CsrAdjacency,
     v: &[f64],
@@ -330,16 +331,12 @@ fn sweep_sides(
     });
     local.clear();
     local.resize(m, false);
+    let (offsets, columns, weights) = csr.as_parts();
     let mut cut = 0.0f64;
     let mut best = (f64::INFINITY, 0usize, usize::MAX);
     for (k, &node) in order.iter().enumerate().take(m - 1) {
-        for (nb, w) in csr.row(NodeId::new(node)) {
-            if local[nb.index()] {
-                cut -= w;
-            } else {
-                cut += w;
-            }
-        }
+        let (lo, hi) = (offsets[node], offsets[node + 1]);
+        cut = kernels::sweep_boundary_update(cut, &columns[lo..hi], &weights[lo..hi], local);
         local[node] = true;
         let prefix = k + 1;
         let balance_dist = prefix.abs_diff(m / 2);
