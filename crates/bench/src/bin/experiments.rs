@@ -11,7 +11,11 @@
 //!
 //! `--trace-out <path>` additionally records pipeline telemetry
 //! (stage spans, label-propagation rounds, Lanczos iterations, greedy
-//! counters) through [`mec_obs::Recorder`] and writes it as JSON.
+//! counters) through [`mec_obs::ShardedRecorder`] and writes it as
+//! JSON; `--chrome-trace-out <path>` exports the same run in Chrome
+//! trace-event format, and `--serve ADDR` exposes `/metrics`,
+//! `/trace`, `/healthz`, and `/stacks` live over HTTP while the
+//! commands run (`--serve-for SECS` keeps the endpoint up afterwards).
 
 use mec_bench::ablation;
 use mec_bench::energy::{self, EnergyPoint};
@@ -21,7 +25,7 @@ use mec_bench::report::{normalize, render_table, write_json};
 use mec_bench::runtime::{self, FrontendSpeedup, RuntimePoint, WorkerUtilization};
 use mec_bench::spectral_hotpath::{self, AllocSnapshot, HotpathSpec};
 use mec_bench::{table1, DEFAULT_SEED, PAPER_SIZES, PAPER_USER_SIZES};
-use mec_obs::{MetricsRegistry, MetricsSink, Recorder, TraceSink};
+use mec_obs::{MetricsRegistry, MetricsSink, ShardedRecorder, TraceSink};
 use std::sync::Arc;
 
 /// Counting allocator so the hot-path benchmark can report allocation
@@ -73,6 +77,10 @@ struct Options {
     metrics_out: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
+    serve: Option<String>,
+    serve_for: Option<u64>,
+    chrome_trace_out: Option<String>,
+    obs_budget: f64,
 }
 
 fn parse_args() -> Options {
@@ -89,6 +97,10 @@ fn parse_args() -> Options {
         metrics_out: None,
         baseline: None,
         tolerance: 0.25,
+        serve: None,
+        serve_for: None,
+        chrome_trace_out: None,
+        obs_budget: 0.03,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -141,6 +153,32 @@ fn parse_args() -> Options {
                     .filter(|&t: &f64| t >= 0.0)
                     .unwrap_or_else(|| die("--tolerance needs a non-negative number"));
             }
+            "--serve" => {
+                opts.serve = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--serve needs an ADDR:PORT (port 0 = ephemeral)")),
+                );
+            }
+            "--serve-for" => {
+                opts.serve_for = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--serve-for needs a number of seconds")),
+                );
+            }
+            "--chrome-trace-out" => {
+                opts.chrome_trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--chrome-trace-out needs a path")),
+                );
+            }
+            "--obs-budget" => {
+                opts.obs_budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&b: &f64| b >= 0.0)
+                    .unwrap_or_else(|| die("--obs-budget needs a non-negative fraction"));
+            }
             cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                 opts.command = cmd.to_string();
             }
@@ -163,7 +201,8 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|bench|perf-gate|check|all] \
          [--quick] [--extra] [--seed N] [--out DIR] [--trace-out FILE] [--workers N] \
-         [--bench-out FILE] [--metrics-out FILE] [--baseline FILE] [--tolerance FRAC]"
+         [--bench-out FILE] [--metrics-out FILE] [--baseline FILE] [--tolerance FRAC] \
+         [--serve ADDR] [--serve-for SECS] [--chrome-trace-out FILE] [--obs-budget FRAC]"
     );
     std::process::exit(2);
 }
@@ -658,7 +697,7 @@ fn run_fig9(opts: &Options, sink: &Arc<dyn TraceSink>, registry: &Arc<MetricsReg
             // the headline run records per-worker distributions into
             // the registry; utilization rows come out of that interval
             let (s, w) =
-                runtime::frontend_speedup_traced(users, nodes, opts.seed, workers, registry);
+                runtime::frontend_speedup_traced(users, nodes, opts.seed, workers, sink, registry);
             speedups.push(s);
             per_worker = w;
         } else {
@@ -751,17 +790,18 @@ fn run_perf_gate(opts: &Options) {
     let baseline = perfgate::parse_baseline(&json).unwrap_or_else(|e| die(&e));
     println!(
         "re-running the baseline's spec (users {}, nodes {}, seed {}, depth {}, iters {}) \
-         at {:.0}% tolerance\n",
+         at {:.0}% tolerance, tracing-overhead budget {:.1}%\n",
         baseline.spec.users,
         baseline.spec.nodes,
         baseline.spec.seed,
         baseline.spec.depth,
         baseline.spec.iters,
         100.0 * opts.tolerance,
+        100.0 * opts.obs_budget,
     );
     let probe = alloc_probe;
     let fresh = spectral_hotpath::run(&baseline.spec, Some(&probe)).expect("hot path is benchable");
-    let report = perfgate::evaluate(&baseline, &fresh, opts.tolerance);
+    let report = perfgate::evaluate(&baseline, &fresh, opts.tolerance, opts.obs_budget);
     let fmt_value = |v: f64| {
         if v.fract() == 0.0 && v.abs() < 1e15 {
             format!("{}", v as i64)
@@ -806,10 +846,15 @@ fn main() {
     let opts = parse_args();
     // One recorder for the whole invocation: spans and counters from
     // every pipeline the selected command builds land in one trace.
-    // With `--trace-out` the registry is the recorder's own; otherwise
-    // a metrics-only sink still collects histograms for the percentile
-    // tables and `--metrics-out` without buffering any events.
-    let recorder = opts.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
+    // Any of `--trace-out`, `--serve`, `--chrome-trace-out` turns on
+    // the sharded recorder (per-thread SPSC rings drained by a
+    // background aggregator, so worker hot paths never contend on a
+    // lock); otherwise a metrics-only sink still collects histograms
+    // for the percentile tables and `--metrics-out` without buffering
+    // any events.
+    let wants_recorder =
+        opts.trace_out.is_some() || opts.serve.is_some() || opts.chrome_trace_out.is_some();
+    let recorder = wants_recorder.then(|| Arc::new(ShardedRecorder::new()));
     let (sink, registry): (Arc<dyn TraceSink>, Arc<MetricsRegistry>) = match &recorder {
         Some(r) => (Arc::clone(r) as Arc<dyn TraceSink>, r.metrics()),
         None => {
@@ -818,6 +863,16 @@ fn main() {
             (metrics_sink as Arc<dyn TraceSink>, registry)
         }
     };
+    // Bind the exposition endpoint before the command runs so the
+    // whole run is observable live. The printed line is parsed by the
+    // CI smoke job (port 0 binds an ephemeral port, reported here).
+    let server = opts.serve.as_ref().map(|addr| {
+        let recorder = recorder.as_ref().expect("--serve implies the recorder");
+        let server = mec_obs::serve(Arc::clone(recorder), addr.as_str())
+            .unwrap_or_else(|e| die(&format!("cannot bind --serve {addr}: {e}")));
+        println!("serving telemetry on http://{}", server.local_addr());
+        server
+    });
     let single_user_figs: Vec<(&str, &str, &str)> = vec![
         ("fig3", "local", "Fig. 3: local energy consumption"),
         ("fig4", "tx", "Fig. 4: transmission energy consumption"),
@@ -871,6 +926,15 @@ fn main() {
         std::fs::write(path, recorder.to_json_string()).expect("trace file is writable");
         println!("trace written to {path}");
     }
+    if let (Some(path), Some(recorder)) = (&opts.chrome_trace_out, &recorder) {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("trace directory is creatable");
+            }
+        }
+        std::fs::write(path, recorder.to_chrome_trace_string()).expect("trace file is writable");
+        println!("chrome trace written to {path} (load via chrome://tracing or ui.perfetto.dev)");
+    }
     if let Some(path) = &opts.metrics_out {
         if let Some(dir) = std::path::Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
@@ -885,5 +949,23 @@ fn main() {
         };
         std::fs::write(path, body).expect("metrics file is writable");
         println!("metrics written to {path}");
+    }
+    // Keep the exposition endpoint alive after the command finishes so
+    // the final snapshot stays scrapeable: for `--serve-for SECS`, or
+    // until killed when serving without a deadline.
+    if let Some(mut server) = server {
+        match opts.serve_for {
+            Some(secs) => {
+                println!("holding telemetry endpoint open for {secs}s");
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+            }
+            None => {
+                println!("holding telemetry endpoint open until killed (Ctrl-C to exit)");
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+        }
+        server.shutdown();
     }
 }

@@ -98,6 +98,11 @@ pub struct Baseline {
     pub cut_weight: f64,
     /// The `optimized_simd` variant, when the baseline recorded one.
     pub simd: Option<SimdBaseline>,
+    /// `obs_overhead.sharded_overhead` from the baseline, when the
+    /// baseline recorded the tracing-overhead measurement. Recorded
+    /// for the report; the gate verdict compares the fresh value
+    /// against the configured budget, not against this.
+    pub obs_overhead: Option<f64>,
 }
 
 /// Baseline slice for the unrolled-kernel variant, gated against its
@@ -190,6 +195,10 @@ pub fn parse_baseline(json: &str) -> Result<Baseline, String> {
         parts: field_u64(optimized, "parts")?,
         cut_weight: field_f64(optimized, "cut_weight")?,
         simd,
+        obs_overhead: find_field(top, "obs_overhead")
+            .and_then(Value::as_object)
+            .and_then(|o| find_field(o, "sharded_overhead"))
+            .and_then(as_f64),
     })
 }
 
@@ -272,13 +281,43 @@ fn gate_exact(metric: &'static str, baseline: f64, fresh: f64) -> GateRow {
     }
 }
 
+/// Classifies the tracing-overhead measurement against an absolute
+/// budget (not the baseline): enabled sharded tracing may cost at most
+/// `budget` relative front-end wall time (fail beyond it, warn beyond
+/// half of it). The baseline column of the row shows the budget so the
+/// printed table reads as "allowed vs measured".
+fn gate_against_budget(metric: &'static str, budget: f64, fresh: f64) -> GateRow {
+    let status = if fresh > budget {
+        GateStatus::Fail
+    } else if fresh > budget / 2.0 {
+        GateStatus::Warn
+    } else {
+        GateStatus::Pass
+    };
+    GateRow {
+        metric,
+        baseline: budget,
+        fresh,
+        ratio: if budget > 0.0 { fresh / budget } else { 1.0 },
+        status,
+    }
+}
+
 /// Compares a fresh hot-path run against the committed baseline.
 ///
 /// Wall-clock and allocation metrics use the tolerance band (fail
 /// beyond it, warn beyond half of it); `parts` and `cut_weight` are
 /// deterministic and compared exactly. Allocation rows are emitted
-/// only when both sides were measured with a counting allocator.
-pub fn evaluate(baseline: &Baseline, fresh: &HotpathReport, tolerance: f64) -> GateReport {
+/// only when both sides were measured with a counting allocator. The
+/// tracing-overhead row is gated against the absolute `obs_budget`
+/// rather than the baseline, so the budget holds even if an inflated
+/// overhead was ever committed.
+pub fn evaluate(
+    baseline: &Baseline,
+    fresh: &HotpathReport,
+    tolerance: f64,
+    obs_budget: f64,
+) -> GateReport {
     let mut rows = vec![
         gate_lower_is_better(
             "optimized.seconds",
@@ -352,6 +391,34 @@ pub fn evaluate(baseline: &Baseline, fresh: &HotpathReport, tolerance: f64) -> G
         ),
         (None, None) => {}
     }
+    // The tracing-overhead budget row: absolute, not baseline-relative.
+    // A binary that did not measure overhead is noted and skipped so
+    // pre-observability baselines and stripped builds still gate.
+    match &fresh.obs_overhead {
+        Some(obs) => {
+            rows.push(gate_against_budget(
+                "obs_overhead.sharded",
+                obs_budget,
+                obs.sharded_overhead,
+            ));
+            if baseline.obs_overhead.is_none() {
+                notes.push(
+                    "fresh run measured tracing overhead the baseline predates; \
+                     gated against the budget alone"
+                        .to_string(),
+                );
+            }
+        }
+        None => {
+            if baseline.obs_overhead.is_some() {
+                notes.push(
+                    "baseline records a tracing-overhead measurement but this run \
+                     skipped it; obs_overhead row omitted"
+                        .to_string(),
+                );
+            }
+        }
+    }
     GateReport {
         rows,
         tolerance,
@@ -362,7 +429,11 @@ pub fn evaluate(baseline: &Baseline, fresh: &HotpathReport, tolerance: f64) -> G
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spectral_hotpath::HotpathMeasurement;
+    use crate::spectral_hotpath::{HotpathMeasurement, ObsOverhead};
+
+    /// The default budget used across the gate tests: 3 % of front-end
+    /// wall time, matching the CLI default.
+    const BUDGET: f64 = 0.03;
 
     fn measurement(label: &str, secs: f64, parts: usize, cut_weight: f64) -> HotpathMeasurement {
         HotpathMeasurement {
@@ -386,6 +457,19 @@ mod tests {
             speedup,
             simd_speedup: None,
             alloc_ratio: Some(1.5),
+            obs_overhead: None,
+        }
+    }
+
+    fn overhead(sharded: f64) -> ObsOverhead {
+        ObsOverhead {
+            off_seconds: 1.0,
+            null_seconds: 1.0 * (1.0 + sharded / 4.0),
+            sharded_seconds: 1.0 * (1.0 + sharded),
+            null_overhead: sharded / 4.0,
+            sharded_overhead: sharded,
+            sharded_records: 10_000,
+            sharded_dropped: 0,
         }
     }
 
@@ -409,6 +493,7 @@ mod tests {
             parts: 64,
             cut_weight: 16576.5,
             simd: None,
+            obs_overhead: None,
         }
     }
 
@@ -426,14 +511,24 @@ mod tests {
 
     #[test]
     fn identical_run_passes_everything() {
-        let report = evaluate(&baseline(), &fresh_report(1.0, 3.0, 64, 16576.5), 0.25);
+        let report = evaluate(
+            &baseline(),
+            &fresh_report(1.0, 3.0, 64, 16576.5),
+            0.25,
+            BUDGET,
+        );
         assert!(report.rows.iter().all(|r| r.status == GateStatus::Pass));
         assert_eq!(report.worst(), GateStatus::Pass);
     }
 
     #[test]
     fn large_slowdown_fails() {
-        let report = evaluate(&baseline(), &fresh_report(1.5, 3.0, 64, 16576.5), 0.25);
+        let report = evaluate(
+            &baseline(),
+            &fresh_report(1.5, 3.0, 64, 16576.5),
+            0.25,
+            BUDGET,
+        );
         let row = report
             .rows
             .iter()
@@ -446,7 +541,12 @@ mod tests {
     #[test]
     fn mild_slowdown_warns() {
         // 20 % over with a 25 % band: between tol/2 and tol
-        let report = evaluate(&baseline(), &fresh_report(1.2, 3.0, 64, 16576.5), 0.25);
+        let report = evaluate(
+            &baseline(),
+            &fresh_report(1.2, 3.0, 64, 16576.5),
+            0.25,
+            BUDGET,
+        );
         let row = report
             .rows
             .iter()
@@ -458,27 +558,47 @@ mod tests {
 
     #[test]
     fn lost_speedup_fails() {
-        let report = evaluate(&baseline(), &fresh_report(1.0, 2.0, 64, 16576.5), 0.25);
+        let report = evaluate(
+            &baseline(),
+            &fresh_report(1.0, 2.0, 64, 16576.5),
+            0.25,
+            BUDGET,
+        );
         let row = report.rows.iter().find(|r| r.metric == "speedup").unwrap();
         assert_eq!(row.status, GateStatus::Fail);
     }
 
     #[test]
     fn structural_drift_fails_regardless_of_tolerance() {
-        let report = evaluate(&baseline(), &fresh_report(1.0, 3.0, 65, 16576.5), 10.0);
+        let report = evaluate(
+            &baseline(),
+            &fresh_report(1.0, 3.0, 65, 16576.5),
+            10.0,
+            BUDGET,
+        );
         let row = report
             .rows
             .iter()
             .find(|r| r.metric == "optimized.parts")
             .unwrap();
         assert_eq!(row.status, GateStatus::Fail);
-        let report = evaluate(&baseline(), &fresh_report(1.0, 3.0, 64, 16577.0), 10.0);
+        let report = evaluate(
+            &baseline(),
+            &fresh_report(1.0, 3.0, 64, 16577.0),
+            10.0,
+            BUDGET,
+        );
         assert_eq!(report.worst(), GateStatus::Fail);
     }
 
     #[test]
     fn faster_run_passes() {
-        let report = evaluate(&baseline(), &fresh_report(0.5, 6.0, 64, 16576.5), 0.25);
+        let report = evaluate(
+            &baseline(),
+            &fresh_report(0.5, 6.0, 64, 16576.5),
+            0.25,
+            BUDGET,
+        );
         assert_eq!(report.worst(), GateStatus::Pass);
     }
 
@@ -542,7 +662,12 @@ mod tests {
     fn simd_variant_gates_against_its_own_baseline() {
         // simd regressed 2x while scalar is unchanged: only the simd
         // rows fail
-        let report = evaluate(&dual_baseline(), &fresh_dual_report(1.0, 1.2, 64), 0.25);
+        let report = evaluate(
+            &dual_baseline(),
+            &fresh_dual_report(1.0, 1.2, 64),
+            0.25,
+            BUDGET,
+        );
         assert!(report.notes.is_empty());
         let row = report
             .rows
@@ -560,7 +685,12 @@ mod tests {
 
     #[test]
     fn simd_structural_drift_fails_exactly() {
-        let report = evaluate(&dual_baseline(), &fresh_dual_report(1.0, 0.6, 65), 10.0);
+        let report = evaluate(
+            &dual_baseline(),
+            &fresh_dual_report(1.0, 0.6, 65),
+            10.0,
+            BUDGET,
+        );
         let row = report
             .rows
             .iter()
@@ -572,19 +702,110 @@ mod tests {
     #[test]
     fn missing_variant_is_noted_not_failed() {
         // scalar-only binary against a dual-variant baseline
-        let report = evaluate(&dual_baseline(), &fresh_report(1.0, 3.0, 64, 16576.5), 0.25);
+        let report = evaluate(
+            &dual_baseline(),
+            &fresh_report(1.0, 3.0, 64, 16576.5),
+            0.25,
+            BUDGET,
+        );
         assert_eq!(report.worst(), GateStatus::Pass);
         assert_eq!(report.notes.len(), 1);
         assert!(!report.rows.iter().any(|r| r.metric.contains("simd")));
         // dual-variant binary against a pre-simd baseline
-        let report = evaluate(&baseline(), &fresh_dual_report(1.0, 0.6, 64), 0.25);
+        let report = evaluate(&baseline(), &fresh_dual_report(1.0, 0.6, 64), 0.25, BUDGET);
         assert_eq!(report.worst(), GateStatus::Pass);
         assert_eq!(report.notes.len(), 1);
     }
 
     #[test]
+    fn overhead_within_budget_passes() {
+        let mut fresh = fresh_report(1.0, 3.0, 64, 16576.5);
+        fresh.obs_overhead = Some(overhead(0.01));
+        let report = evaluate(&baseline(), &fresh, 0.25, BUDGET);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "obs_overhead.sharded")
+            .unwrap();
+        assert_eq!(row.status, GateStatus::Pass);
+        // the baseline column of the budget row shows the budget itself
+        assert!((row.baseline - BUDGET).abs() < 1e-12);
+        assert_eq!(report.worst(), GateStatus::Pass);
+        // measured-but-unrecorded-in-baseline is worth a note
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn overhead_above_half_budget_warns() {
+        let mut fresh = fresh_report(1.0, 3.0, 64, 16576.5);
+        fresh.obs_overhead = Some(overhead(0.02));
+        let report = evaluate(&baseline(), &fresh, 0.25, BUDGET);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "obs_overhead.sharded")
+            .unwrap();
+        assert_eq!(row.status, GateStatus::Warn);
+    }
+
+    #[test]
+    fn overhead_beyond_budget_fails_even_if_baseline_was_worse() {
+        // a bloated committed overhead must not grandfather a
+        // regression past the absolute budget
+        let b = Baseline {
+            obs_overhead: Some(0.10),
+            ..baseline()
+        };
+        let mut fresh = fresh_report(1.0, 3.0, 64, 16576.5);
+        fresh.obs_overhead = Some(overhead(0.05));
+        let report = evaluate(&b, &fresh, 0.25, BUDGET);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "obs_overhead.sharded")
+            .unwrap();
+        assert_eq!(row.status, GateStatus::Fail);
+        assert_eq!(report.worst(), GateStatus::Fail);
+        assert!(report.notes.is_empty());
+    }
+
+    #[test]
+    fn missing_overhead_measurement_is_noted_not_failed() {
+        let b = Baseline {
+            obs_overhead: Some(0.01),
+            ..baseline()
+        };
+        let report = evaluate(&b, &fresh_report(1.0, 3.0, 64, 16576.5), 0.25, BUDGET);
+        assert_eq!(report.worst(), GateStatus::Pass);
+        assert_eq!(report.notes.len(), 1);
+        assert!(!report.rows.iter().any(|r| r.metric.contains("obs")));
+    }
+
+    #[test]
+    fn parse_baseline_reads_the_obs_overhead_schema() {
+        let json = r#"{
+            "spec": { "users": 8, "nodes": 2000, "seed": 20190707, "depth": 3, "iters": 3 },
+            "baseline": { "label": "b", "seconds": 3.3, "parts": 64, "cut_weight": 16576.9 },
+            "optimized": { "label": "o", "seconds": 1.07, "parts": 64, "cut_weight": 16576.9 },
+            "speedup": 3.118,
+            "alloc_ratio": null,
+            "obs_overhead": { "off_seconds": 0.0021, "null_seconds": 0.00211,
+                              "sharded_seconds": 0.00214, "null_overhead": 0.005,
+                              "sharded_overhead": 0.019, "sharded_records": 12000,
+                              "sharded_dropped": 0 }
+        }"#;
+        let b = parse_baseline(json).expect("parses");
+        assert!((b.obs_overhead.expect("overhead parsed") - 0.019).abs() < 1e-12);
+    }
+
+    #[test]
     fn matched_healthy_dual_run_passes() {
-        let report = evaluate(&dual_baseline(), &fresh_dual_report(1.0, 0.6, 64), 0.25);
+        let report = evaluate(
+            &dual_baseline(),
+            &fresh_dual_report(1.0, 0.6, 64),
+            0.25,
+            BUDGET,
+        );
         assert_eq!(report.worst(), GateStatus::Pass);
         assert!(report.notes.is_empty());
         assert!(report

@@ -24,7 +24,7 @@ use mec_graph::{Bipartition, Graph};
 use mec_linalg::LanczosOptions;
 use mec_model::{Scenario, SystemParams, UserWorkload};
 use mec_netgen::NetgenSpec;
-use mec_obs::{MetricsRegistry, MetricsSink, TraceSink};
+use mec_obs::{MetricsRegistry, TraceSink};
 use mec_spectral::SpectralBisector;
 use serde::Serialize;
 use std::sync::Arc;
@@ -210,18 +210,22 @@ pub struct WorkerUtilization {
     pub p50_queue_nanos: u64,
 }
 
-/// [`frontend_speedup`] with a metrics registry wired through both
-/// legs: the serial and cluster solves record their stage histograms
-/// into `registry` (via a [`MetricsSink`]), and the cluster is built
-/// with [`Cluster::with_metrics`] so per-worker task-latency /
-/// queue-wait distributions land there too. Returns the speedup record
-/// plus one utilization row per worker, computed from the registry's
-/// `worker`-labeled series over the cluster leg's wall clock.
+/// [`frontend_speedup`] with full telemetry wired through both legs:
+/// the serial and cluster solves record their stage spans and
+/// histograms into `sink`, and the cluster is built with
+/// [`Cluster::with_telemetry`] so per-worker task-latency / queue-wait
+/// distributions land in `registry` and each worker announces itself
+/// to the sink ([`TraceSink::register_worker`] — a sharded recorder
+/// uses this to pin worker threads to dedicated shards). Returns the
+/// speedup record plus one utilization row per worker, computed from
+/// the registry's `worker`-labeled series over the cluster leg's wall
+/// clock.
 pub fn frontend_speedup_traced(
     users: usize,
     nodes: usize,
     seed: u64,
     workers: usize,
+    sink: &Arc<dyn TraceSink>,
     registry: &Arc<MetricsRegistry>,
 ) -> (FrontendSpeedup, Vec<WorkerUtilization>) {
     let scenario =
@@ -229,8 +233,7 @@ pub fn frontend_speedup_traced(
             .with_users((0..users).map(|i| {
                 UserWorkload::new(format!("u{i}"), runtime_graph(nodes, seed + i as u64))
             }));
-    let sink: Arc<dyn TraceSink> = Arc::new(MetricsSink::with_registry(Arc::clone(registry)));
-    let offloader = Offloader::builder().trace_sink(sink).build();
+    let offloader = Offloader::builder().trace_sink(Arc::clone(sink)).build();
 
     let start = std::time::Instant::now();
     let serial = offloader
@@ -241,8 +244,10 @@ pub fn frontend_speedup_traced(
     // snapshot before the cluster leg so the utilization diff only
     // covers registry activity attributable to the clustered run
     let before = registry.snapshot();
-    let cluster =
-        Arc::new(Cluster::with_metrics(workers, Arc::clone(registry)).expect("cluster spawns"));
+    let cluster = Arc::new(
+        Cluster::with_telemetry(workers, Some(Arc::clone(registry)), Some(Arc::clone(sink)))
+            .expect("cluster spawns"),
+    );
     let start = std::time::Instant::now();
     let clustered = offloader
         .solve_on(&cluster, &scenario)
@@ -458,7 +463,9 @@ mod tests {
     #[test]
     fn traced_speedup_reports_per_worker_utilization() {
         let registry = Arc::new(MetricsRegistry::new());
-        let (s, workers) = frontend_speedup_traced(4, 120, 11, 2, &registry);
+        let sink: Arc<dyn TraceSink> =
+            Arc::new(mec_obs::MetricsSink::with_registry(Arc::clone(&registry)));
+        let (s, workers) = frontend_speedup_traced(4, 120, 11, 2, &sink, &registry);
         assert_eq!((s.users, s.nodes, s.workers), (4, 120, 2));
         assert_eq!(workers.len(), 2);
         // 4 tasks were fanned out; every one is attributed to a worker

@@ -21,12 +21,14 @@
 //! carries its own before/after evidence.
 
 use crate::runtime::runtime_graph;
-use copmecs_core::PipelineError;
+use copmecs_core::{CutStrategy, PipelineError, StrategyKind};
 use mec_graph::{Graph, NodeId, Side, Subgraph};
 use mec_labelprop::{CompressionConfig, Compressor};
 use mec_linalg::LanczosOptions;
+use mec_obs::{span, NullSink, ShardedRecorder, TraceSink};
 use mec_spectral::{CutScratch, RecursiveBisector, RecursivePartition, SpectralBisector};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Cumulative allocator counters, supplied by the measuring *binary*
@@ -100,6 +102,40 @@ pub struct HotpathMeasurement {
     pub cut_weight: f64,
 }
 
+/// Tracing overhead on the Fig. 9 front-end, the quantity the
+/// perf-gate's observability budget is enforced against.
+///
+/// Three variants of the *same* instrumented front-end loop
+/// (compression + per-component cuts, the shape of
+/// `copmecs_core`'s `prepare_user_reusing`) are timed min-of-iters:
+///
+/// - **off** — no instrumentation calls at all (no spans, no
+///   histogram samples, untraced compression): the true floor;
+/// - **null** — every call site active but wired to [`NullSink`]:
+///   what the default pipeline pays for carrying the seams;
+/// - **sharded** — a live [`ShardedRecorder`] with its background
+///   aggregator running: what always-on tracing costs.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsOverhead {
+    /// Min wall-clock seconds per front-end run, uninstrumented.
+    pub off_seconds: f64,
+    /// Min seconds with call sites wired to the `NullSink`.
+    pub null_seconds: f64,
+    /// Min seconds with a live sharded recorder (aggregator on).
+    pub sharded_seconds: f64,
+    /// `null_seconds / off_seconds - 1` (call-site cost).
+    pub null_overhead: f64,
+    /// `sharded_seconds / off_seconds - 1` (enabled-tracing cost —
+    /// the gated quantity).
+    pub sharded_overhead: f64,
+    /// Spans + events + histogram samples the sharded leg recorded
+    /// (evidence the instrumentation was actually live).
+    pub sharded_records: u64,
+    /// Records the sharded leg dropped (should be 0 at default
+    /// capacities).
+    pub sharded_dropped: u64,
+}
+
 /// The before/after record written to `BENCH_spectral.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct HotpathReport {
@@ -119,6 +155,9 @@ pub struct HotpathReport {
     pub simd_speedup: Option<f64>,
     /// `baseline.allocations / optimized.allocations`, when measured.
     pub alloc_ratio: Option<f64>,
+    /// Tracing overhead (off / NullSink / sharded-on); `None` only in
+    /// reports predating the observability pipeline.
+    pub obs_overhead: Option<ObsOverhead>,
 }
 
 /// Pre-PR-style recursive bisection: owned [`Subgraph::induced`] per
@@ -229,6 +268,145 @@ fn measure(
     })
 }
 
+/// The instrumented Fig. 9 front-end loop: compression plus
+/// per-component cuts with the same spans and histogram samples
+/// `copmecs_core`'s `prepare_user_reusing` emits. All three overhead
+/// variants run this exact shape; only the sink differs.
+fn instrumented_front_end(
+    compressor: &Compressor,
+    strategy: &dyn CutStrategy,
+    sink: &dyn TraceSink,
+    graphs: &[Graph],
+    scratch: &mut CutScratch,
+) -> Result<(), PipelineError> {
+    for g in graphs {
+        let s = span(sink, "stage.compression");
+        let outcome = compressor.compress_traced(g, sink);
+        let compression = s.finish();
+        sink.histogram_record(
+            "stage.compression_nanos",
+            u64::try_from(compression.as_nanos()).unwrap_or(u64::MAX),
+        );
+        let s = span(sink, "stage.cutting");
+        for comp in &outcome.components {
+            strategy.cut_reusing(comp.quotient.graph(), scratch)?;
+        }
+        let cutting = s.finish();
+        sink.histogram_record(
+            "stage.cutting_nanos",
+            u64::try_from(cutting.as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+    Ok(())
+}
+
+/// The same loop with instrumentation compiled out of the call sites
+/// entirely — untraced compression, no spans, no samples.
+fn bare_front_end(
+    compressor: &Compressor,
+    strategy: &dyn CutStrategy,
+    graphs: &[Graph],
+    scratch: &mut CutScratch,
+) -> Result<(), PipelineError> {
+    for g in graphs {
+        let outcome = compressor.compress(g);
+        for comp in &outcome.components {
+            strategy.cut_reusing(comp.quotient.graph(), scratch)?;
+        }
+    }
+    Ok(())
+}
+
+/// Min-of-iters wall time of one front-end variant (one untimed
+/// warm-up first). Min is used instead of mean because the overhead
+/// deltas being resolved are small against scheduler noise.
+fn min_seconds(
+    iters: usize,
+    mut run_once: impl FnMut() -> Result<(), PipelineError>,
+) -> Result<f64, PipelineError> {
+    run_once()?;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(run_once()?);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Ok(best)
+}
+
+/// Measures tracing overhead on the Fig. 9 front-end: off vs
+/// [`NullSink`] vs live [`ShardedRecorder`]. Runs on whatever kernel
+/// variant is currently active.
+///
+/// # Errors
+///
+/// [`PipelineError::Cut`] if a component cannot be bipartitioned.
+pub fn measure_obs_overhead(
+    spec: &HotpathSpec,
+    graphs: &[Graph],
+) -> Result<ObsOverhead, PipelineError> {
+    let compressor = Compressor::new(CompressionConfig::default());
+    let iters = spec.iters.max(1);
+
+    let off_seconds = {
+        let strategy = StrategyKind::Spectral.build();
+        let mut scratch = CutScratch::new();
+        min_seconds(iters, || {
+            bare_front_end(&compressor, strategy.as_ref(), graphs, &mut scratch)
+        })?
+    };
+
+    let null_seconds = {
+        let sink: Arc<dyn TraceSink> = Arc::new(NullSink);
+        let strategy = StrategyKind::Spectral.build_with_sink(Arc::clone(&sink));
+        let mut scratch = CutScratch::new();
+        min_seconds(iters, || {
+            instrumented_front_end(
+                &compressor,
+                strategy.as_ref(),
+                sink.as_ref(),
+                graphs,
+                &mut scratch,
+            )
+        })?
+    };
+
+    let recorder = Arc::new(ShardedRecorder::new());
+    let sharded_seconds = {
+        let sink: Arc<dyn TraceSink> = Arc::clone(&recorder) as Arc<dyn TraceSink>;
+        let strategy = StrategyKind::Spectral.build_with_sink(Arc::clone(&sink));
+        let mut scratch = CutScratch::new();
+        min_seconds(iters, || {
+            instrumented_front_end(
+                &compressor,
+                strategy.as_ref(),
+                sink.as_ref(),
+                graphs,
+                &mut scratch,
+            )
+        })?
+    };
+    recorder.flush();
+    let sharded_records = recorder.spans().len() as u64
+        + recorder.events().len() as u64
+        + recorder
+            .metrics()
+            .snapshot()
+            .histogram("stage.cutting_nanos")
+            .map_or(0, |h| h.count());
+    let sharded_dropped = recorder.dropped_records().total();
+
+    Ok(ObsOverhead {
+        off_seconds,
+        null_seconds,
+        sharded_seconds,
+        null_overhead: null_seconds / off_seconds - 1.0,
+        sharded_overhead: sharded_seconds / off_seconds - 1.0,
+        sharded_records,
+        sharded_dropped,
+    })
+}
+
 /// Runs the before/after measurement on the Fig. 9 multi-user
 /// front-end workload.
 ///
@@ -322,6 +500,12 @@ pub fn run(spec: &HotpathSpec, probe: AllocProbe<'_>) -> Result<HotpathReport, P
     };
     mec_linalg::kernels::set_simd_enabled(prior_simd);
 
+    // tracing overhead rides on the same report: the full front-end
+    // (compression + cuts) under off / NullSink / sharded-on sinks,
+    // measured on the original user graphs since compression is part
+    // of the instrumented surface
+    let obs_overhead = Some(measure_obs_overhead(spec, &graphs)?);
+
     let speedup = baseline.seconds / optimized.seconds;
     let simd_speedup = optimized_simd
         .as_ref()
@@ -338,6 +522,7 @@ pub fn run(spec: &HotpathSpec, probe: AllocProbe<'_>) -> Result<HotpathReport, P
         speedup,
         simd_speedup,
         alloc_ratio,
+        obs_overhead,
     })
 }
 
@@ -370,6 +555,13 @@ mod tests {
         // no counting allocator in unit tests
         assert!(r.baseline.allocations.is_none());
         assert!(r.alloc_ratio.is_none());
+        // the overhead rows always ride along and carry live evidence
+        let obs = r.obs_overhead.expect("obs overhead measured");
+        assert!(obs.off_seconds > 0.0);
+        assert!(obs.null_seconds > 0.0);
+        assert!(obs.sharded_seconds > 0.0);
+        assert!(obs.sharded_records > 0, "sharded leg recorded nothing");
+        assert_eq!(obs.sharded_dropped, 0);
     }
 
     #[test]

@@ -298,6 +298,9 @@ impl Offloader {
             "pipeline.solve_nanos",
             crate::frontend::duration_sample(solve_span.finish()),
         );
+        // a sharded sink folds worker-side records into its snapshot
+        // views here; unbuffered sinks treat this as a no-op
+        sink.flush();
         report
     }
 
@@ -329,6 +332,7 @@ impl Offloader {
             "pipeline.solve_nanos",
             crate::frontend::duration_sample(solve_span.finish()),
         );
+        sink.flush();
         report
     }
 

@@ -174,6 +174,7 @@ impl OffloadSession {
                 &[("users", FieldValue::from(self.users.len()))],
             );
         }
+        sink.flush();
         Ok(())
     }
 
@@ -249,6 +250,7 @@ impl OffloadSession {
                 ],
             );
         }
+        sink.flush();
         Ok(())
     }
 
@@ -327,6 +329,7 @@ impl OffloadSession {
             crate::frontend::duration_sample(replan_span.finish()),
         );
         sink.counter_add("session.replans", 1);
+        sink.flush();
         Ok(OffloadReport {
             plan,
             evaluation,

@@ -4,6 +4,7 @@ use crate::metrics::{Metrics, WorkerSnapshot};
 use crate::{EngineError, MetricsSnapshot};
 use crossbeam::channel::{unbounded, Sender};
 use mec_obs::metrics::MetricsRegistry;
+use mec_obs::TraceSink;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -93,7 +94,7 @@ impl Cluster {
     ///
     /// [`EngineError::NoWorkers`] when `workers == 0`.
     pub fn new(workers: usize) -> Result<Self, EngineError> {
-        Cluster::build(workers, None)
+        Cluster::build(workers, None, None)
     }
 
     /// Spawns a cluster whose per-worker task-latency and queue-wait
@@ -109,10 +110,32 @@ impl Cluster {
         workers: usize,
         registry: Arc<MetricsRegistry>,
     ) -> Result<Self, EngineError> {
-        Cluster::build(workers, Some(registry))
+        Cluster::build(workers, Some(registry), None)
     }
 
-    fn build(workers: usize, registry: Option<Arc<MetricsRegistry>>) -> Result<Self, EngineError> {
+    /// Spawns a cluster with both a metrics registry (as in
+    /// [`with_metrics`](Cluster::with_metrics)) and a [`TraceSink`]
+    /// that each worker thread registers itself with
+    /// ([`TraceSink::register_worker`]) before taking its first task —
+    /// a sharded sink pins worker `i` to ring shard `i`, so worker
+    /// telemetry never contends with the serial path.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoWorkers`] when `workers == 0`.
+    pub fn with_telemetry(
+        workers: usize,
+        registry: Option<Arc<MetricsRegistry>>,
+        sink: Option<Arc<dyn TraceSink>>,
+    ) -> Result<Self, EngineError> {
+        Cluster::build(workers, registry, sink)
+    }
+
+    fn build(
+        workers: usize,
+        registry: Option<Arc<MetricsRegistry>>,
+        sink: Option<Arc<dyn TraceSink>>,
+    ) -> Result<Self, EngineError> {
         if workers == 0 {
             return Err(EngineError::NoWorkers);
         }
@@ -121,9 +144,13 @@ impl Cluster {
         let handles = (0..workers)
             .map(|i| {
                 let rx = receiver.clone();
+                let sink = sink.clone();
                 std::thread::Builder::new()
                     .name(format!("mec-engine-worker-{i}"))
                     .spawn(move || {
+                        if let Some(sink) = &sink {
+                            sink.register_worker(i);
+                        }
                         while let Ok(job) = rx.recv() {
                             job(i);
                         }

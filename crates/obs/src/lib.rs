@@ -20,7 +20,15 @@
 //!   trace above;
 //! - [`MetricsSink`] — a [`TraceSink`] that forwards counters and
 //!   histogram records into a shared registry without recording spans
-//!   or events, for metric collection at near-zero overhead.
+//!   or events, for metric collection at near-zero overhead;
+//! - [`ShardedRecorder`] — the always-on collection path: per-thread
+//!   bounded SPSC ring shards drained by a background aggregator into
+//!   the [`Recorder`]/[`MetricsRegistry`] views, making hot-path
+//!   recording wait-free and allocation-free after warm-up, with
+//!   per-class drop accounting ([`DroppedRecords`]);
+//! - [`serve`] — a dependency-free live exposition endpoint
+//!   (`/metrics`, `/trace`, `/healthz`, `/stacks`) over
+//!   `std::net::TcpListener`.
 //!
 //! # Example
 //!
@@ -46,12 +54,16 @@
 
 pub mod metrics;
 mod recorder;
+mod serve;
+mod shard;
 
 pub use metrics::{
     CounterHandle, GaugeHandle, Histogram, HistogramHandle, HistogramSnapshot, MetricKey,
     MetricsRegistry, RegistrySnapshot,
 };
-pub use recorder::{Recorder, SpanRecord, TraceEvent};
+pub use recorder::{DropClass, DroppedRecords, Recorder, SpanRecord, TraceEvent};
+pub use serve::{serve, ObsServer};
+pub use shard::{ShardConfig, ShardedRecorder};
 
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -164,6 +176,19 @@ pub trait TraceSink: Send + Sync + fmt::Debug {
     fn histogram_record(&self, name: &'static str, value: u64) {
         let _ = (name, value);
     }
+
+    /// Tells the sink the calling thread is engine worker `worker`, so
+    /// a sharded sink can pin the thread to a stable shard before the
+    /// first record. The default is a no-op — only sinks with
+    /// per-thread state care.
+    fn register_worker(&self, worker: usize) {
+        let _ = worker;
+    }
+
+    /// Asks the sink to make everything recorded so far visible to its
+    /// snapshot/export views (a no-op for unbuffered sinks). The
+    /// pipeline calls this at solve and session boundaries.
+    fn flush(&self) {}
 }
 
 /// The default sink: records nothing, costs nothing.

@@ -455,12 +455,12 @@ impl MetricsRegistry {
             return None;
         }
         {
-            let inner = self.inner.read().expect("registry poisoned");
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
             if let Some(h) = inner.histograms.get(&key) {
                 return Some(Arc::clone(h));
             }
         }
-        let mut inner = self.inner.write().expect("registry poisoned");
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         Some(Arc::clone(
             inner
                 .histograms
@@ -491,7 +491,7 @@ impl MetricsRegistry {
             return;
         }
         {
-            let inner = self.inner.read().expect("registry poisoned");
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
             if let Some(h) = inner.histograms.get(&MetricKey::plain(name)) {
                 h.record(value);
                 return;
@@ -507,12 +507,12 @@ impl MetricsRegistry {
             return None;
         }
         {
-            let inner = self.inner.read().expect("registry poisoned");
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
             if let Some(c) = inner.counters.get(&key) {
                 return Some(Arc::clone(c));
             }
         }
-        let mut inner = self.inner.write().expect("registry poisoned");
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         Some(Arc::clone(inner.counters.entry(key).or_default()))
     }
 
@@ -537,7 +537,7 @@ impl MetricsRegistry {
             return;
         }
         {
-            let inner = self.inner.read().expect("registry poisoned");
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
             if let Some(c) = inner.counters.get(&MetricKey::plain(name)) {
                 c.add(delta);
                 return;
@@ -553,12 +553,12 @@ impl MetricsRegistry {
             return None;
         }
         {
-            let inner = self.inner.read().expect("registry poisoned");
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
             if let Some(g) = inner.gauges.get(&key) {
                 return Some(Arc::clone(g));
             }
         }
-        let mut inner = self.inner.write().expect("registry poisoned");
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         Some(Arc::clone(inner.gauges.entry(key).or_default()))
     }
 
@@ -579,7 +579,7 @@ impl MetricsRegistry {
 
     /// A point-in-time copy of every metric, sorted by key.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let inner = self.inner.read().expect("registry poisoned");
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
         RegistrySnapshot {
             histograms: inner
                 .histograms
@@ -614,7 +614,7 @@ pub struct RegistrySnapshot {
 
 /// Replaces every character outside `[a-zA-Z0-9_:]` with `_` — the
 /// Prometheus metric-name alphabet.
-fn prom_name(name: &str) -> String {
+pub(crate) fn prom_name(name: &str) -> String {
     name.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == ':' {

@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Default capacity of the event ring buffer.
-const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+pub(crate) const DEFAULT_EVENT_CAPACITY: usize = 65_536;
 
 /// Monotonically increasing id distinguishing recorders, so the
 /// per-thread span stacks of two live recorders never interfere.
@@ -19,6 +19,39 @@ static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     /// Stack of (recorder id, span id) for parent attribution.
     static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The classes of lossy telemetry records whose losses are accounted
+/// separately (counters are exact and never dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropClass {
+    /// A completed span record.
+    Span = 0,
+    /// A structured event.
+    Event = 1,
+    /// One histogram sample.
+    Histogram = 2,
+}
+
+/// Per-class counts of telemetry records lost to bounded buffers —
+/// full ring shards, shard-pool exhaustion, or eviction from the
+/// retained event ring. `recorded + dropped` is exactly conserved per
+/// class (see `crates/obs/tests/shard_properties.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DroppedRecords {
+    /// Completed spans lost.
+    pub spans: u64,
+    /// Events lost or evicted.
+    pub events: u64,
+    /// Histogram samples lost.
+    pub histogram_samples: u64,
+}
+
+impl DroppedRecords {
+    /// Total losses across all three classes.
+    pub fn total(&self) -> u64 {
+        self.spans + self.events + self.histogram_samples
+    }
 }
 
 /// A completed or in-flight span as the recorder stores it.
@@ -34,6 +67,11 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// End time, `None` while the span is still open.
     pub end_ns: Option<u64>,
+    /// Originating track: 0 for spans recorded directly on the
+    /// recorder, `shard index + 1` for spans aggregated from a
+    /// [`crate::ShardedRecorder`] ring shard. Becomes the `tid` of the
+    /// Chrome trace-event export.
+    pub tid: u64,
 }
 
 impl SpanRecord {
@@ -92,10 +130,14 @@ impl EventRing {
 pub struct Recorder {
     recorder_id: u64,
     start: Instant,
-    counters: RwLock<HashMap<&'static str, AtomicU64>>,
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<EventRing>,
-    dropped_events: AtomicU64,
+    /// Losses indexed by [`DropClass`]: spans, events, histogram
+    /// samples. The recorder's direct path only ever evicts events;
+    /// the sharded pipeline forwards all three classes here so every
+    /// export reports them uniformly.
+    dropped: [AtomicU64; 3],
     drop_warned: AtomicBool,
     metrics: Arc<MetricsRegistry>,
 }
@@ -135,7 +177,7 @@ impl Recorder {
                 capacity: capacity.max(1),
                 head: 0,
             }),
-            dropped_events: AtomicU64::new(0),
+            dropped: Default::default(),
             drop_warned: AtomicBool::new(false),
             metrics: Arc::new(MetricsRegistry::new()),
         }
@@ -149,7 +191,7 @@ impl Recorder {
         Arc::clone(&self.metrics)
     }
 
-    fn now_ns(&self) -> u64 {
+    pub(crate) fn now_ns(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
     }
 
@@ -157,14 +199,31 @@ impl Recorder {
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters
             .read()
-            .expect("counter map poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(name)
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
+    /// The shared cell backing counter `name`, creating it on first
+    /// use. The sharded pipeline caches these per thread so counter
+    /// increments stay exact *and* wait-free.
+    pub(crate) fn counter_cell(&self, name: &'static str) -> Arc<AtomicU64> {
+        {
+            let map = self.counters.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(c) = map.get(name) {
+                return Arc::clone(c);
+            }
+        }
+        let mut map = self.counters.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
     /// Snapshot of every counter, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
-        let map = self.counters.read().expect("counter map poisoned");
+        let map = self.counters.read().unwrap_or_else(|e| e.into_inner());
         let mut out: Vec<(String, u64)> = map
             .iter()
             .map(|(k, v)| ((*k).to_string(), v.load(Ordering::Relaxed)))
@@ -175,22 +234,73 @@ impl Recorder {
 
     /// Copies of all span records, in creation order.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.spans.lock().expect("span table poisoned").clone()
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Copies of the retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
         self.events
             .lock()
-            .expect("event ring poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .iter_in_order()
             .cloned()
             .collect()
     }
 
-    /// Number of events evicted from the ring so far.
+    /// Number of events evicted from the ring (or dropped upstream by
+    /// a sharded pipeline) so far.
     pub fn dropped_events(&self) -> u64 {
-        self.dropped_events.load(Ordering::Relaxed)
+        self.dropped[DropClass::Event as usize].load(Ordering::Relaxed)
+    }
+
+    /// Per-class record losses. All three classes are reported
+    /// uniformly in the JSON export, the Prometheus exposition, and
+    /// the one-time warning.
+    pub fn dropped_records(&self) -> DroppedRecords {
+        DroppedRecords {
+            spans: self.dropped[DropClass::Span as usize].load(Ordering::Relaxed),
+            events: self.dropped[DropClass::Event as usize].load(Ordering::Relaxed),
+            histogram_samples: self.dropped[DropClass::Histogram as usize].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts `n` lost records of `class`, warning (once per recorder)
+    /// the first time any loss is observed.
+    pub(crate) fn add_dropped(&self, class: DropClass, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.dropped[class as usize].fetch_add(n, Ordering::Relaxed);
+        if !self.drop_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "mec-obs: bounded telemetry buffers overflowed; \
+                 span/event/histogram records are being dropped or evicted \
+                 (raise ShardConfig capacity or Recorder::with_event_capacity); \
+                 exact counts are in the export's *_dropped fields"
+            );
+        }
+    }
+
+    /// Appends a completed span record produced by the shard
+    /// aggregator (ids are assigned by the caller).
+    pub(crate) fn ingest_span(&self, record: SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+
+    /// Appends an event produced by the shard aggregator, with the
+    /// same bounded-ring eviction accounting as the direct path.
+    pub(crate) fn ingest_event(&self, ev: TraceEvent) {
+        let evicted = self
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev);
+        if evicted {
+            self.add_dropped(DropClass::Event, 1);
+        }
     }
 
     /// Collapses the closed spans into folded-stack lines
@@ -253,14 +363,18 @@ impl Recorder {
     ///   "events": [ { "t_ns": 15, "name": "labelprop.round",
     ///                 "fields": { "round": 1, "alpha": 0.5 } } ],
     ///   "metrics": { "histograms": {}, "counters": {}, "gauges": {} },
+    ///   "spans_dropped": 0,
+    ///   "hist_samples_dropped": 0,
     ///   "events_dropped": 0
     /// }
     /// ```
     ///
-    /// When the bounded ring has evicted events, the export also
-    /// carries a top-level `"warning"` string so truncation is never
-    /// silent. (`"events_dropped"` was named `"dropped_events"` before
-    /// the warning existed.)
+    /// When any bounded buffer has dropped or evicted records, the
+    /// export also carries a top-level `"warning"` string listing the
+    /// per-class counts so truncation is never silent.
+    /// (`"events_dropped"` was named `"dropped_events"` before the
+    /// warning existed; `"spans_dropped"` / `"hist_samples_dropped"`
+    /// arrived with the sharded pipeline.)
     pub fn to_json_string(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n  \"version\": 1,\n");
@@ -288,7 +402,11 @@ impl Recorder {
                 out.push(',');
             }
             out.push_str("\n    ");
-            let _ = write!(out, "{{ \"id\": {}, \"parent\": {}, ", s.id, s.parent);
+            let _ = write!(
+                out,
+                "{{ \"id\": {}, \"parent\": {}, \"tid\": {}, ",
+                s.id, s.parent, s.tid
+            );
             out.push_str("\"name\": ");
             write_json_str(&mut out, s.name);
             let _ = write!(out, ", \"start_ns\": {}", s.start_ns);
@@ -341,19 +459,102 @@ impl Recorder {
         out.push_str(metrics_json.trim_end());
         out.push_str(",\n");
 
-        let dropped = self.dropped_events();
-        if dropped > 0 {
+        let dropped = self.dropped_records();
+        if dropped.total() > 0 {
             out.push_str("  \"warning\": ");
             write_json_str(
                 &mut out,
                 &format!(
-                    "event ring buffer overflowed: {dropped} oldest event(s) evicted; \
-                     raise Recorder::with_event_capacity to keep them"
+                    "bounded telemetry buffers overflowed: {} span(s), {} event(s), \
+                     {} histogram sample(s) dropped or evicted; raise ShardConfig \
+                     capacity or Recorder::with_event_capacity to keep them",
+                    dropped.spans, dropped.events, dropped.histogram_samples
                 ),
             );
             out.push_str(",\n");
         }
-        let _ = write!(out, "  \"events_dropped\": {dropped}\n}}\n");
+        let _ = writeln!(out, "  \"spans_dropped\": {},", dropped.spans);
+        let _ = writeln!(
+            out,
+            "  \"hist_samples_dropped\": {},",
+            dropped.histogram_samples
+        );
+        let _ = write!(out, "  \"events_dropped\": {}\n}}\n", dropped.events);
+        out
+    }
+
+    /// Serialises the trace in the Chrome trace-event JSON format
+    /// (load the file at `chrome://tracing` or in Perfetto).
+    ///
+    /// Completed spans become `"ph": "X"` duration events on track
+    /// `tid` (0 = direct recording, `shard + 1` = sharded pipeline);
+    /// trace events become `"ph": "i"` instants with their fields under
+    /// `"args"`. Timestamps are microseconds since recorder creation.
+    pub fn to_chrome_trace_string(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for s in self.spans() {
+            let Some(end_ns) = s.end_ns else { continue };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n{\"name\":");
+            write_json_str(&mut out, s.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                s.start_ns as f64 / 1_000.0,
+                end_ns.saturating_sub(s.start_ns) as f64 / 1_000.0,
+                s.tid
+            );
+        }
+        for e in self.events() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n{\"name\":");
+            write_json_str(&mut out, e.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{:.3},\"pid\":1,\"tid\":0,\"args\":{{",
+                e.t_ns as f64 / 1_000.0
+            );
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_json_str(&mut out, k);
+                out.push(':');
+                write_field_value(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Prometheus text exposition: the metrics registry snapshot, the
+    /// exact trace counters, and the three
+    /// `mec_obs_dropped_records{class=…}` series.
+    pub fn to_prometheus_string(&self) -> String {
+        let mut out = self.metrics.snapshot().to_prometheus_string();
+        for (name, value) in self.counters() {
+            let n = crate::metrics::prom_name(&name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        let d = self.dropped_records();
+        out.push_str("# TYPE mec_obs_dropped_records counter\n");
+        for (class, value) in [
+            ("span", d.spans),
+            ("event", d.events),
+            ("histogram", d.histogram_samples),
+        ] {
+            let _ = writeln!(out, "mec_obs_dropped_records{{class=\"{class}\"}} {value}");
+        }
         out
     }
 }
@@ -402,7 +603,7 @@ impl TraceSink for Recorder {
 
     fn span_enter(&self, name: &'static str) -> SpanId {
         let start_ns = self.now_ns();
-        let mut spans = self.spans.lock().expect("span table poisoned");
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
         let id = spans.len() as u64 + 1;
         let parent = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -420,6 +621,7 @@ impl TraceSink for Recorder {
             name,
             start_ns,
             end_ns: None,
+            tid: 0,
         });
         SpanId(id)
     }
@@ -438,7 +640,7 @@ impl TraceSink for Recorder {
                 stack.remove(pos);
             }
         });
-        let mut spans = self.spans.lock().expect("span table poisoned");
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(record) = spans.get_mut((id.0 - 1) as usize) {
             if record.end_ns.is_none() {
                 record.end_ns = Some(end_ns);
@@ -448,36 +650,24 @@ impl TraceSink for Recorder {
 
     fn counter_add(&self, name: &'static str, delta: u64) {
         {
-            let map = self.counters.read().expect("counter map poisoned");
+            let map = self.counters.read().unwrap_or_else(|e| e.into_inner());
             if let Some(c) = map.get(name) {
                 c.fetch_add(delta, Ordering::Relaxed);
                 return;
             }
         }
-        let mut map = self.counters.write().expect("counter map poisoned");
+        let mut map = self.counters.write().unwrap_or_else(|e| e.into_inner());
         map.entry(name)
-            .or_insert_with(|| AtomicU64::new(0))
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
             .fetch_add(delta, Ordering::Relaxed);
     }
 
     fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
-        let ev = TraceEvent {
+        self.ingest_event(TraceEvent {
             t_ns: self.now_ns(),
             name,
             fields: fields.to_vec(),
-        };
-        let evicted = self.events.lock().expect("event ring poisoned").push(ev);
-        if evicted {
-            self.dropped_events.fetch_add(1, Ordering::Relaxed);
-            // warn exactly once per recorder; the JSON export carries
-            // the final count either way
-            if !self.drop_warned.swap(true, Ordering::Relaxed) {
-                eprintln!(
-                    "mec-obs: event ring buffer full, oldest events are being evicted \
-                     (raise Recorder::with_event_capacity)"
-                );
-            }
-        }
+        });
     }
 
     fn histogram_record(&self, name: &'static str, value: u64) {

@@ -12,7 +12,9 @@
 //!
 //! Pass `--collapsed-out PATH` to also write the span tree in
 //! collapsed-stack format for `scripts/flamegraph.sh` (inferno /
-//! flamegraph.pl input).
+//! flamegraph.pl input), and `--chrome-trace-out PATH` to export the
+//! trace in Chrome trace-event format (load via `chrome://tracing` or
+//! `ui.perfetto.dev`).
 
 use copmecs::obs::FieldValue;
 use copmecs::prelude::*;
@@ -138,7 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         recorder.dropped_events()
     );
 
-    // --- 8. collapsed stacks for flamegraph tooling ------------------
+    // --- 8. flamegraph / Chrome-tracing exports ----------------------
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--collapsed-out" {
@@ -149,6 +151,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "collapsed stacks written to {path} ({} frames) — render with \
                  scripts/flamegraph.sh {path}",
                 collapsed.lines().count()
+            );
+        } else if a == "--chrome-trace-out" {
+            let path = args.next().ok_or("--chrome-trace-out needs a path")?;
+            let chrome = recorder.to_chrome_trace_string();
+            std::fs::write(&path, &chrome)?;
+            println!(
+                "chrome trace written to {path} ({} bytes) — load via \
+                 chrome://tracing or ui.perfetto.dev",
+                chrome.len()
             );
         }
     }

@@ -2,10 +2,14 @@
 # Render a flame graph from collapsed-stack span output.
 #
 # Input is the format Recorder::to_collapsed_stacks() produces
-# ("root;child;leaf <self_nanos>" per line), e.g.:
+# ("root;child;leaf <self_nanos>" per line), either from a file or
+# pulled live from a serving pipeline's /stacks endpoint:
 #
 #   cargo run --example pipeline_trace -- --collapsed-out trace.folded
 #   scripts/flamegraph.sh trace.folded flame.svg
+#
+#   cargo run --release -p mec-bench --bin experiments -- fig9 --serve 127.0.0.1:9898 &
+#   scripts/flamegraph.sh http://127.0.0.1:9898 flame.svg
 #
 # Uses whichever renderer is on PATH: inferno-flamegraph (cargo
 # install inferno) or the classic flamegraph.pl. With neither
@@ -13,8 +17,32 @@
 # inspectable offline.
 set -eu
 
-in="${1:?usage: flamegraph.sh COLLAPSED_FILE [OUT_SVG]}"
+in="${1:?usage: flamegraph.sh COLLAPSED_FILE_OR_URL [OUT_SVG]}"
 out="${2:-flame.svg}"
+
+# A live endpoint: fetch /stacks into a temp file and proceed as if a
+# collapsed file had been passed.
+case "$in" in
+http://* | https://*)
+    url="$in"
+    case "$url" in
+    */stacks) ;;
+    *) url="${url%/}/stacks" ;;
+    esac
+    tmp="$(mktemp)"
+    trap 'rm -f "$tmp"' EXIT
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$url" >"$tmp"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -qO "$tmp" "$url"
+    else
+        echo "error: fetching $url needs curl or wget on PATH" >&2
+        exit 1
+    fi
+    echo "fetched $url"
+    in="$tmp"
+    ;;
+esac
 
 if [ ! -s "$in" ]; then
     echo "error: $in is missing or empty" >&2

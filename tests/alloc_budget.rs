@@ -208,6 +208,52 @@ fn null_sink_solve_is_bit_identical_and_allocation_neutral() {
     );
 }
 
+/// The *enabled* sharded observability hot path must also stay
+/// allocation-free once warm: spans, events, histogram samples, and
+/// counter increments all land in pre-sized per-thread SPSC rings (or
+/// cached counter cells), so after one warm-up round — which interns
+/// the names, attaches the thread to a shard, and grows the span stack
+/// to its high-water depth — recording never touches the heap. This is
+/// the wait-free contract that lets the engine's workers trace without
+/// taxing the pipeline.
+#[test]
+fn warm_sharded_recording_is_allocation_free() {
+    use copmecs::obs::{FieldValue, ShardConfig, ShardedRecorder, TraceSink};
+
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let rec = ShardedRecorder::with_config(ShardConfig {
+        shards: 2,
+        capacity: 1 << 15,
+        // no aggregator thread: the measurement pins the producer side
+        // alone, and manual flushes between rounds keep the rings empty
+        drain_interval: None,
+        ..ShardConfig::default()
+    });
+    let round = |rec: &ShardedRecorder| {
+        for i in 0..64u64 {
+            let guard = copmecs::obs::span(rec, "alloc.unit");
+            rec.counter_add("alloc.count", 1);
+            rec.event("alloc.tick", &[("i", FieldValue::U64(i))]);
+            rec.histogram_record("alloc.nanos", i + 1);
+            guard.finish();
+        }
+    };
+    round(&rec);
+    rec.flush();
+    let min_delta = (0..3)
+        .map(|_| {
+            let d = alloc_delta(|| round(&rec));
+            rec.flush();
+            d
+        })
+        .min()
+        .unwrap();
+    assert_eq!(
+        min_delta, 0,
+        "warm sharded recording must not touch the heap"
+    );
+}
+
 #[test]
 fn warm_start_toggle_preserves_cut_quality_across_seeds() {
     for seed in [5u64, 11, 23, 42] {
