@@ -132,7 +132,8 @@ pub struct FrontendSpeedup {
     pub workers: usize,
     /// Wall-clock seconds of the serial `Offloader::solve`.
     pub serial_seconds: f64,
-    /// Wall-clock seconds of `Offloader::solve_on` at `workers`.
+    /// Wall-clock seconds of `Offloader::solve_with` under a cluster
+    /// [`ExecCtx`](copmecs_core::ExecCtx) at `workers`.
     pub cluster_seconds: f64,
     /// `serial_seconds / cluster_seconds`.
     pub speedup: f64,
@@ -164,9 +165,10 @@ pub fn frontend_speedup(users: usize, nodes: usize, seed: u64, workers: usize) -
     let serial_seconds = start.elapsed().as_secs_f64();
 
     let cluster = Arc::new(Cluster::new(workers).expect("cluster spawns"));
+    let mut ctx = offloader.exec_ctx().into_cluster(cluster);
     let start = std::time::Instant::now();
     let clustered = offloader
-        .solve_on(&cluster, &scenario)
+        .solve_with(&mut ctx, &scenario)
         .expect("cluster pipeline succeeds");
     let cluster_seconds = start.elapsed().as_secs_f64();
 
@@ -248,9 +250,10 @@ pub fn frontend_speedup_traced(
         Cluster::with_telemetry(workers, Some(Arc::clone(registry)), Some(Arc::clone(sink)))
             .expect("cluster spawns"),
     );
+    let mut ctx = offloader.exec_ctx().into_cluster(cluster);
     let start = std::time::Instant::now();
     let clustered = offloader
-        .solve_on(&cluster, &scenario)
+        .solve_with(&mut ctx, &scenario)
         .expect("cluster pipeline succeeds");
     let cluster_seconds = start.elapsed().as_secs_f64();
 
@@ -469,7 +472,10 @@ mod tests {
         assert_eq!((s.users, s.nodes, s.workers), (4, 120, 2));
         assert_eq!(workers.len(), 2);
         // 4 tasks were fanned out; every one is attributed to a worker
-        assert_eq!(workers.iter().map(|w| w.tasks).sum::<u64>(), 4);
+        // (under MEC_FORCE_SERIAL the cluster leg never fans out)
+        if !copmecs_core::force_serial() {
+            assert_eq!(workers.iter().map(|w| w.tasks).sum::<u64>(), 4);
+        }
         for w in &workers {
             assert!((0.0..=1.0).contains(&w.utilization));
             if w.tasks > 0 {

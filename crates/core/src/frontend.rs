@@ -8,6 +8,7 @@
 //! reassembled in user order, and the greedy stage then sees exactly
 //! what the serial loop would have produced.
 
+use crate::exec::{duration_sample, ExecBackend, ExecCtx};
 use crate::strategy::CutStrategy;
 use crate::PipelineError;
 use mec_engine::{Cluster, StageError};
@@ -17,11 +18,6 @@ use mec_obs::{span, TraceSink};
 use mec_spectral::CutScratch;
 use std::sync::Arc;
 use std::time::Duration;
-
-/// A duration as a histogram sample (nanoseconds, saturating).
-pub(crate) fn duration_sample(d: Duration) -> u64 {
-    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
-}
 
 /// One user's prepared front-end: everything
 /// [`PartSystem::add_user`](crate::PartSystem::add_user) needs, plus
@@ -38,24 +34,39 @@ pub(crate) struct FrontEnd {
     pub cutting: Duration,
 }
 
-/// Runs compression and per-component cuts for one user's graph,
-/// allocating a fresh cut arena.
-pub(crate) fn prepare_user(
+/// Prepares every graph's front-end under `ctx` — the single entry
+/// point both the one-shot solver and the session paths call.
+///
+/// Dispatch is on the context backend: serial walks the batch on the
+/// calling thread threading the ctx-owned [`CutScratch`] arena through
+/// every cut, cluster fans out one stage task per graph
+/// ([`prepare_users_on`]). Both produce bit-identical front-ends in
+/// input order.
+pub(crate) fn prepare_users(
+    ctx: &mut ExecCtx,
     compressor: &Compressor,
     strategy: &dyn CutStrategy,
-    sink: &dyn TraceSink,
-    graph: &Graph,
-) -> Result<FrontEnd, PipelineError> {
-    prepare_user_reusing(compressor, strategy, sink, graph, &mut CutScratch::new())
+    graphs: Vec<Arc<Graph>>,
+) -> Result<Vec<FrontEnd>, PipelineError> {
+    let (backend, sink) = ctx.backend_and_sink();
+    match backend {
+        ExecBackend::Serial { scratch } => graphs
+            .iter()
+            .map(|g| prepare_user_reusing(compressor, strategy, sink.as_ref(), g, scratch))
+            .collect(),
+        ExecBackend::Cluster(cluster) => {
+            prepare_users_on(cluster, compressor, strategy, sink, graphs)
+        }
+    }
 }
 
-/// [`prepare_user`] with a caller-owned [`CutScratch`]: every
-/// per-component cut goes through
+/// Prepares one graph's front-end with a caller-owned [`CutScratch`]:
+/// every per-component cut goes through
 /// [`CutStrategy::cut_reusing`], so spectral backends recycle their
 /// CSR snapshot, Krylov basis, and sweep buffers across components —
-/// and, when the caller threads the same arena across users, across the
-/// whole batch. Plans are identical to [`prepare_user`] by the
-/// `cut_reusing` contract.
+/// and, when the caller threads the same arena across users (the
+/// serial [`prepare_users`] path), across the whole batch. Plans are
+/// identical to a scratch-free cut by the `cut_reusing` contract.
 pub(crate) fn prepare_user_reusing(
     compressor: &Compressor,
     strategy: &dyn CutStrategy,
@@ -84,8 +95,9 @@ pub(crate) fn prepare_user_reusing(
     })
 }
 
-/// Fans [`prepare_user`] out over `cluster` as one stage task per
-/// graph, returning the front-ends in input order.
+/// Fans [`prepare_user_reusing`] out over `cluster` as one stage task
+/// per graph (each task with its own arena), returning the front-ends
+/// in input order.
 ///
 /// Each task clones its own strategy instance
 /// ([`CutStrategy::boxed_clone`]), so stateful backends never share

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod exec;
 mod frontend;
 mod greedy;
 mod offloader;
@@ -55,6 +56,7 @@ mod session;
 mod strategy;
 
 pub use config::{PipelineConfig, StrategyChoice};
+pub use exec::{force_serial, ExecBackend, ExecCtx, ExecScope};
 pub use greedy::{GreedyMode, GreedyOutcome};
 pub use offloader::{OffloadReport, Offloader, OffloaderBuilder, StageTimings};
 pub use parts::{Part, PartSystem};

@@ -1,6 +1,7 @@
 //! The end-to-end pipeline driver.
 
-use crate::frontend::{prepare_user_reusing, prepare_users_on, FrontEnd};
+use crate::exec::{duration_sample, ExecCtx};
+use crate::frontend::{prepare_users, FrontEnd};
 use crate::greedy::{run_greedy_traced, GreedyMode, GreedyOutcome};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
@@ -10,7 +11,6 @@ use mec_graph::Bipartition;
 use mec_labelprop::{CompressionConfig, CompressionStats, Compressor};
 use mec_model::{Evaluation, Scenario};
 use mec_obs::{span, TraceSink};
-use mec_spectral::CutScratch;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -124,6 +124,7 @@ pub struct OffloaderBuilder {
     greedy_mode: GreedyMode,
     sink: Option<Arc<dyn TraceSink>>,
     cluster: Option<Arc<Cluster>>,
+    seed: u64,
 }
 
 impl OffloaderBuilder {
@@ -162,6 +163,13 @@ impl OffloaderBuilder {
         self
     }
 
+    /// Sets the RNG seed carried by the contexts this offloader builds
+    /// ([`Offloader::exec_ctx`]); see [`ExecCtx::with_seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Builds the offloader.
     pub fn build(self) -> Offloader {
         let sink = self.sink.unwrap_or_else(mec_obs::null_sink);
@@ -171,6 +179,7 @@ impl OffloaderBuilder {
             greedy_mode: self.greedy_mode,
             sink,
             cluster: self.cluster,
+            seed: self.seed,
         }
     }
 
@@ -183,6 +192,7 @@ impl OffloaderBuilder {
             greedy_mode: self.greedy_mode,
             sink: self.sink.unwrap_or_else(mec_obs::null_sink),
             cluster: self.cluster,
+            seed: self.seed,
         }
     }
 }
@@ -195,6 +205,7 @@ pub struct Offloader {
     greedy_mode: GreedyMode,
     sink: Arc<dyn TraceSink>,
     cluster: Option<Arc<Cluster>>,
+    seed: u64,
 }
 
 impl Offloader {
@@ -245,13 +256,31 @@ impl Offloader {
         self.solve(&scenario)
     }
 
+    /// The execution context this offloader's configuration implies: a
+    /// cluster backend when one was set via
+    /// [`OffloaderBuilder::cluster`] (serial otherwise), the builder's
+    /// trace sink, and its seed. Hold one across repeated
+    /// [`solve_with`](Self::solve_with) calls to reuse the serial
+    /// scratch arena between solves.
+    pub fn exec_ctx(&self) -> ExecCtx {
+        let mut ctx = ExecCtx::serial()
+            .with_sink(Arc::clone(&self.sink))
+            .with_seed(self.seed);
+        if let Some(cluster) = &self.cluster {
+            ctx = ctx.into_cluster(Arc::clone(cluster));
+        }
+        ctx
+    }
+
     /// Solves the offloading problem for every user of `scenario`
     /// jointly (the greedy stage sees the shared server).
     ///
-    /// When a cluster was configured via
-    /// [`OffloaderBuilder::cluster`], the per-user front-end runs as
-    /// one stage task per user; otherwise users are walked serially.
-    /// Both paths produce bit-identical plans.
+    /// Builds a fresh context from the offloader's configuration
+    /// ([`exec_ctx`](Self::exec_ctx)) and runs
+    /// [`solve_with`](Self::solve_with): a cluster configured via
+    /// [`OffloaderBuilder::cluster`] fans the per-user front-end out as
+    /// one stage task per user, otherwise users are walked serially.
+    /// Both backends produce bit-identical plans.
     ///
     /// # Errors
     ///
@@ -260,91 +289,63 @@ impl Offloader {
     /// failed; [`PipelineError::Model`] only on internal invariant
     /// violations.
     pub fn solve(&self, scenario: &Scenario) -> Result<OffloadReport, PipelineError> {
-        match &self.cluster {
-            Some(cluster) => self.solve_on(&Arc::clone(cluster), scenario),
-            None => self.solve_serial(scenario),
-        }
+        self.solve_with(&mut self.exec_ctx(), scenario)
     }
 
-    /// [`solve`](Self::solve), with the per-user front-end —
-    /// compression plus the per-component cuts — fanned out over
-    /// `cluster` as one stage task per user. Front-ends are
-    /// reassembled in user order before the (inherently joint) greedy
-    /// stage runs, so the plan is bit-identical to the serial path at
-    /// every worker count.
+    /// [`solve`](Self::solve) under a caller-owned [`ExecCtx`] — the
+    /// single implementation every solve entry point dispatches
+    /// through. The context decides where the per-user front-end runs
+    /// (serial with the ctx-owned cut arena, or one cluster stage task
+    /// per user, reassembled in user order before the inherently joint
+    /// greedy stage) and where telemetry goes; the RAII context scope
+    /// finishes the `pipeline.solve` span, records
+    /// `pipeline.solve_nanos`, and flushes the sink on *every* exit,
+    /// including error returns.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`solve`](Self::solve), plus
-    /// [`PipelineError::Engine`] when a stage task panics or the pool
-    /// is gone.
+    /// Same conditions as [`solve`](Self::solve).
+    pub fn solve_with(
+        &self,
+        ctx: &mut ExecCtx,
+        scenario: &Scenario,
+    ) -> Result<OffloadReport, PipelineError> {
+        let scope = ctx.scope("pipeline.solve", "pipeline.solve_nanos");
+        let graphs: Vec<_> = scenario.users().iter().map(|u| u.graph_arc()).collect();
+        let prepared = prepare_users(ctx, &self.compressor, self.strategy.as_ref(), graphs)?;
+        let report = self.assemble(scenario, prepared, ctx.sink().as_ref());
+        scope.finish();
+        report
+    }
+
+    /// [`solve_with`](Self::solve_with) on a one-off cluster context.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](Self::solve).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use solve_with(&mut ExecCtx::cluster(...), scenario) — or configure the \
+                cluster once via OffloaderBuilder::cluster and call solve"
+    )]
     pub fn solve_on(
         &self,
         cluster: &Arc<Cluster>,
         scenario: &Scenario,
     ) -> Result<OffloadReport, PipelineError> {
-        let sink = self.sink.as_ref();
-        let solve_span = span(sink, "pipeline.solve");
-        let graphs: Vec<_> = scenario.users().iter().map(|u| u.graph_arc()).collect();
-        let prepared = prepare_users_on(
-            cluster,
-            &self.compressor,
-            self.strategy.as_ref(),
-            &self.sink,
-            graphs,
-        )?;
-        let report = self.assemble(scenario, prepared);
-        sink.histogram_record(
-            "pipeline.solve_nanos",
-            crate::frontend::duration_sample(solve_span.finish()),
-        );
-        // a sharded sink folds worker-side records into its snapshot
-        // views here; unbuffered sinks treat this as a no-op
-        sink.flush();
-        report
-    }
-
-    fn solve_serial(&self, scenario: &Scenario) -> Result<OffloadReport, PipelineError> {
-        let sink = self.sink.as_ref();
-        let solve_span = span(sink, "pipeline.solve");
-        // StageTimings is a view over the stage spans: each SpanGuard
-        // measures its own elapsed time, so the numbers are identical
-        // whether the sink records spans or discards them.
-        //
-        // One cut arena serves the whole batch: buffers grow to the
-        // largest component once and are recycled for every later cut.
-        let mut scratch = CutScratch::new();
-        let prepared = scenario
-            .users()
-            .iter()
-            .map(|user| {
-                prepare_user_reusing(
-                    &self.compressor,
-                    self.strategy.as_ref(),
-                    sink,
-                    user.graph(),
-                    &mut scratch,
-                )
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let report = self.assemble(scenario, prepared);
-        sink.histogram_record(
-            "pipeline.solve_nanos",
-            crate::frontend::duration_sample(solve_span.finish()),
-        );
-        sink.flush();
-        report
+        let mut ctx = self.exec_ctx().into_cluster(Arc::clone(cluster));
+        self.solve_with(&mut ctx, scenario)
     }
 
     /// The joint back half of the pipeline: registers every prepared
     /// front-end in user order and runs the greedy stage over the
-    /// shared server.
+    /// shared server. Telemetry goes to the execution context's sink.
     fn assemble(
         &self,
         scenario: &Scenario,
         prepared: Vec<FrontEnd>,
+        sink: &dyn TraceSink,
     ) -> Result<OffloadReport, PipelineError> {
-        let sink = self.sink.as_ref();
         let mut timings = StageTimings::default();
         let mut parts = PartSystem::new();
         let mut compression_stats = Vec::with_capacity(scenario.user_count());
@@ -358,10 +359,7 @@ impl Offloader {
         let s = span(sink, "stage.greedy");
         let greedy = run_greedy_traced(&mut parts, scenario.params(), self.greedy_mode, sink);
         let greedy_elapsed = s.finish();
-        sink.histogram_record(
-            "stage.greedy_nanos",
-            crate::frontend::duration_sample(greedy_elapsed),
-        );
+        sink.histogram_record("stage.greedy_nanos", duration_sample(greedy_elapsed));
         timings.greedy += greedy_elapsed;
 
         let plan = parts.plan();
@@ -538,7 +536,8 @@ mod tests {
         let serial = Offloader::new().solve(&s).unwrap();
         for workers in [1, 2, 8] {
             let cluster = Arc::new(Cluster::new(workers).unwrap());
-            let parallel = Offloader::new().solve_on(&cluster, &s).unwrap();
+            let mut ctx = ExecCtx::cluster(cluster);
+            let parallel = Offloader::new().solve_with(&mut ctx, &s).unwrap();
             assert_eq!(serial.plan, parallel.plan, "workers={workers}");
             assert_eq!(
                 serial.evaluation.totals.objective().to_bits(),
@@ -547,6 +546,17 @@ mod tests {
             );
             assert_eq!(serial.compression, parallel.compression);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_solve_on_shim_matches_solve_with() {
+        let s = scenario(2, 23);
+        let cluster = Arc::new(Cluster::new(2).unwrap());
+        let via_shim = Offloader::new().solve_on(&cluster, &s).unwrap();
+        let mut ctx = ExecCtx::cluster(Arc::clone(&cluster));
+        let via_ctx = Offloader::new().solve_with(&mut ctx, &s).unwrap();
+        assert_eq!(via_shim.plan, via_ctx.plan);
     }
 
     #[test]
@@ -560,15 +570,19 @@ mod tests {
             .unwrap();
         let serial = Offloader::new().solve(&s).unwrap();
         assert_eq!(clustered.plan, serial.plan);
-        // the stage path actually ran on the cluster
-        assert!(cluster.metrics().tasks >= 3);
+        // the stage path actually ran on the cluster (unless the
+        // environment forces every context onto the serial backend)
+        if !crate::exec::force_serial() {
+            assert!(cluster.metrics().tasks >= 3);
+        }
     }
 
     #[test]
     fn cluster_solve_records_front_end_timings() {
         let s = scenario(2, 17);
         let cluster = Arc::new(Cluster::new(2).unwrap());
-        let report = Offloader::new().solve_on(&cluster, &s).unwrap();
+        let mut ctx = ExecCtx::cluster(cluster);
+        let report = Offloader::new().solve_with(&mut ctx, &s).unwrap();
         assert!(report.timings.compression > Duration::ZERO);
         assert!(report.timings.cutting > Duration::ZERO);
     }
@@ -577,8 +591,23 @@ mod tests {
     fn cluster_solve_empty_scenario_is_fine() {
         let cluster = Arc::new(Cluster::new(2).unwrap());
         let s = Scenario::new(SystemParams::default());
-        let report = Offloader::new().solve_on(&cluster, &s).unwrap();
+        let mut ctx = ExecCtx::cluster(cluster);
+        let report = Offloader::new().solve_with(&mut ctx, &s).unwrap();
         assert!(report.plan.is_empty());
+    }
+
+    #[test]
+    fn reused_ctx_solves_match_fresh_ctx_solves() {
+        // one context across repeated solves: the serial arena is
+        // recycled batch to batch without changing any plan
+        let s = scenario(2, 29);
+        let o = Offloader::new();
+        let mut ctx = o.exec_ctx();
+        let first = o.solve_with(&mut ctx, &s).unwrap();
+        let second = o.solve_with(&mut ctx, &s).unwrap();
+        let fresh = o.solve(&s).unwrap();
+        assert_eq!(first.plan, second.plan);
+        assert_eq!(first.plan, fresh.plan);
     }
 
     #[test]

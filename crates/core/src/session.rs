@@ -9,7 +9,8 @@
 //! bookkeeping and re-runs the greedy placement against the current
 //! crowd.
 
-use crate::frontend::{prepare_user, prepare_user_reusing, prepare_users_on, FrontEnd};
+use crate::exec::{duration_sample, ExecCtx};
+use crate::frontend::{prepare_users, FrontEnd};
 use crate::greedy::{run_greedy_traced, GreedyMode};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
@@ -17,7 +18,7 @@ use crate::{OffloadReport, PipelineError, StageTimings};
 use mec_engine::Cluster;
 use mec_graph::Graph;
 use mec_labelprop::{CompressionConfig, Compressor};
-use mec_model::{Scenario, SystemParams, UserWorkload};
+use mec_model::SystemParams;
 use mec_obs::{span, FieldValue, TraceSink};
 use std::sync::Arc;
 
@@ -59,8 +60,9 @@ pub struct OffloadSession {
     strategy: Box<dyn CutStrategy>,
     greedy_mode: GreedyMode,
     users: Vec<PreparedUser>,
-    sink: Arc<dyn TraceSink>,
-    cluster: Option<Arc<Cluster>>,
+    /// The session-owned execution context: backend, sink, and (on the
+    /// serial backend) the cut arena recycled across every admission.
+    ctx: ExecCtx,
 }
 
 impl OffloadSession {
@@ -88,18 +90,33 @@ impl OffloadSession {
             strategy: strategy.build(),
             greedy_mode,
             users: Vec::new(),
-            sink: mec_obs::null_sink(),
-            cluster: None,
+            ctx: ExecCtx::serial(),
         }
     }
 
-    /// Distributes batch admissions
-    /// ([`join_many`](Self::join_many)) over `cluster`: the joining
-    /// users' front-ends run as one stage task per user. Single
-    /// [`join`](Self::join)s stay serial (there is nothing to fan
-    /// out), and results are identical either way.
+    /// Switches the session's execution context onto `cluster`: every
+    /// admission ([`join`](Self::join) and
+    /// [`join_many`](Self::join_many)) then fans its front-ends out as
+    /// one stage task per user. Results are identical to the serial
+    /// backend either way.
     pub fn with_cluster(mut self, cluster: Arc<Cluster>) -> Self {
-        self.cluster = Some(cluster);
+        self.ctx = self.ctx.into_cluster(cluster);
+        self
+    }
+
+    /// Replaces the session's whole execution context (backend, sink,
+    /// seed) with `ctx`.
+    pub fn with_exec_ctx(mut self, ctx: ExecCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Replaces the cut backend with a custom [`CutStrategy`]
+    /// implementation (the [`StrategyKind`]-less analogue of
+    /// [`with_config`](Self::with_config); also how tests inject
+    /// failing strategies).
+    pub fn with_strategy(mut self, strategy: Box<dyn CutStrategy>) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -109,7 +126,7 @@ impl OffloadSession {
     /// use [`with_traced_strategy`](Self::with_traced_strategy) to
     /// route the eigensolver too.)
     pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
-        self.sink = sink;
+        self.ctx = self.ctx.with_sink(sink);
         self
     }
 
@@ -122,7 +139,7 @@ impl OffloadSession {
         sink: Arc<dyn TraceSink>,
     ) -> Self {
         self.strategy = strategy.build_with_sink(Arc::clone(&sink));
-        self.sink = sink;
+        self.ctx = self.ctx.with_sink(sink);
         self
     }
 
@@ -140,33 +157,36 @@ impl OffloadSession {
     /// with the same name replaces the previous entry (e.g. after an
     /// app update changed the graph).
     ///
+    /// The context scope guarantees the `session.join` span,
+    /// `session.join_nanos` histogram, and sink flush happen on every
+    /// exit — a failed admission is still fully accounted.
+    ///
     /// # Errors
     ///
     /// [`PipelineError::Cut`] if a compressed component cannot be
-    /// bipartitioned.
+    /// bipartitioned; [`PipelineError::Engine`] if the context's
+    /// cluster backend failed.
     pub fn join(
         &mut self,
         name: impl Into<String>,
         graph: Arc<Graph>,
     ) -> Result<(), PipelineError> {
         let name = name.into();
-        let sink = Arc::clone(&self.sink);
-        let join_span = span(sink.as_ref(), "session.join");
-        let frontend = prepare_user(
+        let scope = self.ctx.scope("session.join", "session.join_nanos");
+        let frontend = prepare_users(
+            &mut self.ctx,
             &self.compressor,
             self.strategy.as_ref(),
-            sink.as_ref(),
-            &graph,
-        )?;
+            vec![Arc::clone(&graph)],
+        )?
+        .pop()
+        .expect("one front-end per graph");
         self.insert(PreparedUser {
             name,
             graph,
             frontend,
         });
-        sink.histogram_record(
-            "session.join_nanos",
-            crate::frontend::duration_sample(join_span.finish()),
-        );
+        let sink = self.ctx.sink();
         sink.counter_add("session.joins", 1);
         if sink.enabled() {
             sink.event(
@@ -174,22 +194,25 @@ impl OffloadSession {
                 &[("users", FieldValue::from(self.users.len()))],
             );
         }
-        sink.flush();
+        scope.finish();
         Ok(())
     }
 
-    /// Admits a batch of users at once. With a cluster configured
-    /// ([`with_cluster`](Self::with_cluster)) every joining user's
-    /// front-end — compression plus per-component cuts — runs as its
-    /// own stage task; without one the batch is prepared serially.
-    /// Either way the result is identical to calling
+    /// Admits a batch of users at once through the same unified
+    /// front-end path as [`join`](Self::join): on the cluster backend
+    /// every joining user's front-end — compression plus per-component
+    /// cuts — runs as its own stage task; on the serial backend the
+    /// batch is walked on the calling thread, recycling the ctx-owned
+    /// cut arena. Either way the result is identical to calling
     /// [`join`](Self::join) once per user in batch order: later
     /// duplicates (in the batch or already present) replace earlier
     /// entries.
     ///
     /// On error nothing is admitted: the batch joins all-or-nothing,
-    /// and the reported error is the first failing user's (in batch
-    /// order), matching what serial joins would have hit first.
+    /// the reported error is the first failing user's (in batch
+    /// order), and the context scope still finishes the
+    /// `session.join_many` span, records `session.join_many_nanos`,
+    /// and flushes the sink.
     ///
     /// # Errors
     ///
@@ -201,36 +224,16 @@ impl OffloadSession {
         users: impl IntoIterator<Item = (String, Arc<Graph>)>,
     ) -> Result<(), PipelineError> {
         let batch: Vec<(String, Arc<Graph>)> = users.into_iter().collect();
-        let sink = Arc::clone(&self.sink);
-        let join_span = span(sink.as_ref(), "session.join_many");
-        let frontends = match &self.cluster {
-            Some(cluster) => {
-                let graphs: Vec<_> = batch.iter().map(|(_, g)| Arc::clone(g)).collect();
-                prepare_users_on(
-                    cluster,
-                    &self.compressor,
-                    self.strategy.as_ref(),
-                    &sink,
-                    graphs,
-                )?
-            }
-            None => {
-                // one cut arena across the whole serial batch
-                let mut scratch = mec_spectral::CutScratch::new();
-                batch
-                    .iter()
-                    .map(|(_, g)| {
-                        prepare_user_reusing(
-                            &self.compressor,
-                            self.strategy.as_ref(),
-                            sink.as_ref(),
-                            g,
-                            &mut scratch,
-                        )
-                    })
-                    .collect::<Result<Vec<_>, _>>()?
-            }
-        };
+        let scope = self
+            .ctx
+            .scope("session.join_many", "session.join_many_nanos");
+        let graphs: Vec<_> = batch.iter().map(|(_, g)| Arc::clone(g)).collect();
+        let frontends = prepare_users(
+            &mut self.ctx,
+            &self.compressor,
+            self.strategy.as_ref(),
+            graphs,
+        )?;
         let joined = batch.len();
         for ((name, graph), frontend) in batch.into_iter().zip(frontends) {
             self.insert(PreparedUser {
@@ -239,7 +242,7 @@ impl OffloadSession {
                 frontend,
             });
         }
-        join_span.finish();
+        let sink = self.ctx.sink();
         sink.counter_add("session.joins", joined as u64);
         if sink.enabled() {
             sink.event(
@@ -250,7 +253,7 @@ impl OffloadSession {
                 ],
             );
         }
-        sink.flush();
+        scope.finish();
         Ok(())
     }
 
@@ -264,18 +267,25 @@ impl OffloadSession {
     }
 
     /// Removes a user; returns `false` when no such user was present.
+    ///
+    /// Like every other session mutation, a successful leave runs the
+    /// full telemetry epilogue (span, `session.leave_nanos` histogram,
+    /// flush), so buffered churn records become visible immediately.
     pub fn leave(&mut self, name: &str) -> bool {
         let before = self.users.len();
         self.users.retain(|u| u.name != name);
         let left = self.users.len() != before;
         if left {
-            self.sink.counter_add("session.leaves", 1);
-            if self.sink.enabled() {
-                self.sink.event(
+            let scope = self.ctx.scope("session.leave", "session.leave_nanos");
+            let sink = self.ctx.sink();
+            sink.counter_add("session.leaves", 1);
+            if sink.enabled() {
+                sink.event(
                     "session.leave",
                     &[("users", FieldValue::from(self.users.len()))],
                 );
             }
+            scope.finish();
         }
         left
     }
@@ -295,8 +305,12 @@ impl OffloadSession {
     /// [`PipelineError::Model`] if the session's system parameters are
     /// invalid.
     pub fn replan(&self) -> Result<OffloadReport, PipelineError> {
-        let sink = self.sink.as_ref();
-        let replan_span = span(sink, "session.replan");
+        // the replan-end-to-end distribution is the ROADMAP's SLO
+        // metric: p99 over session.replan_nanos is what a streaming
+        // service would alert on — the scope records it (and flushes)
+        // on every exit, error returns included
+        let scope = self.ctx.scope("session.replan", "session.replan_nanos");
+        let sink = self.ctx.sink().as_ref();
         let mut timings = StageTimings::default();
         let mut parts = PartSystem::new();
         let mut compression_stats = Vec::with_capacity(self.users.len());
@@ -309,27 +323,18 @@ impl OffloadSession {
         let s = span(sink, "stage.greedy");
         let greedy = run_greedy_traced(&mut parts, &self.params, self.greedy_mode, sink);
         timings.greedy = s.finish();
-        sink.histogram_record(
-            "stage.greedy_nanos",
-            crate::frontend::duration_sample(timings.greedy),
-        );
+        sink.histogram_record("stage.greedy_nanos", duration_sample(timings.greedy));
 
-        let scenario = Scenario::new(self.params).with_users(
-            self.users
-                .iter()
-                .map(|u| UserWorkload::new(u.name.clone(), Arc::clone(&u.graph))),
-        );
         let plan = parts.plan();
-        let evaluation = scenario.evaluate(&plan)?;
-        // the replan-end-to-end distribution is the ROADMAP's SLO
-        // metric: p99 over this histogram is what a streaming service
-        // would alert on
-        sink.histogram_record(
-            "session.replan_nanos",
-            crate::frontend::duration_sample(replan_span.finish()),
-        );
+        // price the plan against the live crowd directly — no Scenario
+        // rebuild (cloned names, Arc bumps) in the steady-state path
+        let evaluation = mec_model::evaluate_plan_for(
+            &self.params,
+            self.users.iter().map(|u| u.graph.as_ref()),
+            &plan,
+        )?;
         sink.counter_add("session.replans", 1);
-        sink.flush();
+        scope.finish();
         Ok(OffloadReport {
             plan,
             evaluation,
@@ -345,6 +350,7 @@ impl OffloadSession {
 mod tests {
     use super::*;
     use crate::Offloader;
+    use mec_model::{Scenario, UserWorkload};
     use mec_netgen::NetgenSpec;
 
     fn graph(seed: u64) -> Arc<Graph> {

@@ -69,9 +69,12 @@ pub trait CutStrategy: Send + Sync {
     /// Bipartitions `g` inside a caller-owned [`CutScratch`] arena.
     ///
     /// The front-end threads one arena through every component of every
-    /// user it prepares, so backends that can recycle buffers (the
-    /// spectral ones) avoid re-allocating their CSR snapshot, Krylov
-    /// basis, and sweep buffers per cut. The default implementation
+    /// user it prepares — on the serial backend that arena lives inside
+    /// the [`ExecCtx`](crate::ExecCtx) and survives across solves, on
+    /// the cluster backend each stage task owns a private one — so
+    /// backends that can recycle buffers (the spectral ones) avoid
+    /// re-allocating their CSR snapshot, Krylov basis, and sweep
+    /// buffers per cut. The default implementation
     /// ignores the arena and delegates to [`cut`](CutStrategy::cut) —
     /// combinatorial baselines have no spectral state to reuse.
     ///

@@ -85,6 +85,10 @@ pub struct Cluster {
     workers: Vec<JoinHandle<()>>,
     worker_count: usize,
     metrics: Arc<Metrics>,
+    /// The sink the workers registered with at spawn, kept so pipeline
+    /// layers holding only the cluster can flush worker-side shard
+    /// records (see [`telemetry_sink`](Cluster::telemetry_sink)).
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Cluster {
@@ -163,7 +167,17 @@ impl Cluster {
             workers: handles,
             worker_count: workers,
             metrics,
+            sink,
         })
+    }
+
+    /// The [`TraceSink`] this cluster's workers registered with at
+    /// spawn ([`with_telemetry`](Cluster::with_telemetry)), if any.
+    /// Workers record into per-thread shards of this sink; whoever
+    /// drives a stage to completion (or failure) should flush it so
+    /// those shard records drain into the aggregated views.
+    pub fn telemetry_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.sink.as_ref()
     }
 
     /// Spawns a cluster sized to the machine (`available_parallelism`,

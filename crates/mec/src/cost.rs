@@ -1,7 +1,15 @@
 //! Pricing an offloading plan: formulas (1)–(6).
+//!
+//! The model works on *graphs*, not on any particular container of
+//! users: [`validate_plan_for`] and [`evaluate_plan_for`] take any
+//! re-iterable sequence of `&Graph`, so a long-lived session can price
+//! its live crowd directly — no intermediate
+//! [`Scenario`]/`UserWorkload` rebuild (and none of its name clones or
+//! `Arc` bumps) per replan. [`Scenario::evaluate`] is a thin wrapper
+//! over the same functions.
 
-use crate::{AllocationPolicy, ModelError, Scenario};
-use mec_graph::{Bipartition, Side};
+use crate::{AllocationPolicy, ModelError, Scenario, SystemParams};
+use mec_graph::{Bipartition, Graph, Side};
 use serde::{Deserialize, Serialize};
 
 /// Cost breakdown for one user under a given plan.
@@ -77,84 +85,151 @@ pub struct Evaluation {
     pub totals: CostSummary,
 }
 
+/// Validates `plan` against the system parameters and a sequence of
+/// user graphs (in user order): one partition per graph, covering every
+/// node, with pinned nodes kept local.
+///
+/// This is the container-free form of
+/// [`Scenario::validate_plan`](Scenario::validate_plan) — sessions call
+/// it against their live crowd without materialising a scenario.
+///
+/// # Errors
+///
+/// See [`ModelError`] variants for each violation.
+pub fn validate_plan_for<'a, I>(
+    params: &SystemParams,
+    graphs: I,
+    plan: &[Bipartition],
+) -> Result<(), ModelError>
+where
+    I: IntoIterator<Item = &'a Graph>,
+    I::IntoIter: ExactSizeIterator,
+{
+    params.validate()?;
+    let graphs = graphs.into_iter();
+    if plan.len() != graphs.len() {
+        return Err(ModelError::PlanLengthMismatch {
+            users: graphs.len(),
+            plans: plan.len(),
+        });
+    }
+    for (i, (graph, cut)) in graphs.zip(plan).enumerate() {
+        if cut.len() < graph.node_count() {
+            return Err(ModelError::PartitionTooSmall { user: i });
+        }
+        for n in graph.node_ids() {
+            if !graph.is_offloadable(n) && cut.side(n) == Side::Remote {
+                return Err(ModelError::PinnedNodeOffloaded { user: i, node: n });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Prices `plan` with the paper's cost model against a sequence of
+/// user graphs (in user order) — the container-free form of
+/// [`Scenario::evaluate`](Scenario::evaluate). The iterator must be
+/// re-iterable (`Clone`) because validation and pass 1 each walk it
+/// once.
+///
+/// # Errors
+///
+/// Any [`ModelError`] from [`validate_plan_for`].
+pub fn evaluate_plan_for<'a, I>(
+    params: &SystemParams,
+    graphs: I,
+    plan: &[Bipartition],
+) -> Result<Evaluation, ModelError>
+where
+    I: IntoIterator<Item = &'a Graph>,
+    I::IntoIter: ExactSizeIterator + Clone,
+{
+    let graphs = graphs.into_iter();
+    validate_plan_for(params, graphs.clone(), plan)?;
+    let p = *params;
+    let n_users = graphs.len();
+
+    // pass 1: raw work and transmission quantities
+    let mut costs = vec![UserCost::default(); n_users];
+    for ((g, cut), cost) in graphs.zip(plan).zip(&mut costs) {
+        cost.local_work = cut.node_weight_on(g, Side::Local);
+        cost.remote_work = cut.node_weight_on(g, Side::Remote);
+        let mut volume = 0.0;
+        let mut crossings = 0usize;
+        for e in g.edges() {
+            if cut.side(e.source) != cut.side(e.target) {
+                volume += e.weight;
+                crossings += 1;
+            }
+        }
+        cost.tx_volume = volume + crossings as f64 * p.control_overhead;
+        cost.local_time = cost.local_work / p.local_capacity;
+        cost.local_energy = cost.local_time * p.local_power; // (3)
+        cost.tx_time = cost.tx_volume / p.bandwidth; // (5)
+        cost.tx_energy = cost.tx_time * p.tx_power; // (4)
+    }
+
+    // pass 2: server shares and waiting (formula (2))
+    let offloaders: Vec<usize> = (0..n_users)
+        .filter(|&i| costs[i].remote_work > 0.0)
+        .collect();
+    match p.allocation {
+        AllocationPolicy::EqualShare => {
+            let k = offloaders.len().max(1) as f64;
+            let share = p.server_capacity / k;
+            for &i in &offloaders {
+                costs[i].remote_time = costs[i].remote_work / share;
+            }
+        }
+        AllocationPolicy::ProportionalToLoad => {
+            let total: f64 = offloaders.iter().map(|&i| costs[i].remote_work).sum();
+            if total > 0.0 {
+                // share_i = I_S * w_i / total  →  t_s = total / I_S
+                let t = total / p.server_capacity;
+                for &i in &offloaders {
+                    costs[i].remote_time = t;
+                }
+            }
+        }
+        AllocationPolicy::Fifo => {
+            let mut clock = 0.0;
+            for &i in &offloaders {
+                costs[i].wait_time = clock;
+                costs[i].remote_time = costs[i].remote_work / p.server_capacity;
+                clock += costs[i].remote_time;
+            }
+        }
+    }
+
+    let mut totals = CostSummary::default();
+    for c in &costs {
+        totals.local_energy += c.local_energy;
+        totals.tx_energy += c.tx_energy;
+        totals.local_time += c.local_time;
+        totals.remote_time += c.remote_time + c.wait_time;
+        totals.tx_time += c.tx_time;
+    }
+    totals.energy = totals.local_energy + totals.tx_energy;
+    totals.time = totals.local_time + totals.remote_time + totals.tx_time;
+    Ok(Evaluation {
+        per_user: costs,
+        totals,
+    })
+}
+
 impl Scenario {
-    /// Prices `plan` with the paper's cost model.
+    /// Prices `plan` with the paper's cost model (delegates to
+    /// [`evaluate_plan_for`] over this scenario's user graphs).
     ///
     /// # Errors
     ///
     /// Any [`ModelError`] from [`validate_plan`](Scenario::validate_plan).
     pub fn evaluate(&self, plan: &[Bipartition]) -> Result<Evaluation, ModelError> {
-        self.validate_plan(plan)?;
-        let p = *self.params();
-        let n_users = self.user_count();
-
-        // pass 1: raw work and transmission quantities
-        let mut costs = vec![UserCost::default(); n_users];
-        for ((user, cut), cost) in self.users().iter().zip(plan).zip(&mut costs) {
-            let g = user.graph();
-            cost.local_work = cut.node_weight_on(g, Side::Local);
-            cost.remote_work = cut.node_weight_on(g, Side::Remote);
-            let mut volume = 0.0;
-            let mut crossings = 0usize;
-            for e in g.edges() {
-                if cut.side(e.source) != cut.side(e.target) {
-                    volume += e.weight;
-                    crossings += 1;
-                }
-            }
-            cost.tx_volume = volume + crossings as f64 * p.control_overhead;
-            cost.local_time = cost.local_work / p.local_capacity;
-            cost.local_energy = cost.local_time * p.local_power; // (3)
-            cost.tx_time = cost.tx_volume / p.bandwidth; // (5)
-            cost.tx_energy = cost.tx_time * p.tx_power; // (4)
-        }
-
-        // pass 2: server shares and waiting (formula (2))
-        let offloaders: Vec<usize> = (0..n_users)
-            .filter(|&i| costs[i].remote_work > 0.0)
-            .collect();
-        match p.allocation {
-            AllocationPolicy::EqualShare => {
-                let k = offloaders.len().max(1) as f64;
-                let share = p.server_capacity / k;
-                for &i in &offloaders {
-                    costs[i].remote_time = costs[i].remote_work / share;
-                }
-            }
-            AllocationPolicy::ProportionalToLoad => {
-                let total: f64 = offloaders.iter().map(|&i| costs[i].remote_work).sum();
-                if total > 0.0 {
-                    // share_i = I_S * w_i / total  →  t_s = total / I_S
-                    let t = total / p.server_capacity;
-                    for &i in &offloaders {
-                        costs[i].remote_time = t;
-                    }
-                }
-            }
-            AllocationPolicy::Fifo => {
-                let mut clock = 0.0;
-                for &i in &offloaders {
-                    costs[i].wait_time = clock;
-                    costs[i].remote_time = costs[i].remote_work / p.server_capacity;
-                    clock += costs[i].remote_time;
-                }
-            }
-        }
-
-        let mut totals = CostSummary::default();
-        for c in &costs {
-            totals.local_energy += c.local_energy;
-            totals.tx_energy += c.tx_energy;
-            totals.local_time += c.local_time;
-            totals.remote_time += c.remote_time + c.wait_time;
-            totals.tx_time += c.tx_time;
-        }
-        totals.energy = totals.local_energy + totals.tx_energy;
-        totals.time = totals.local_time + totals.remote_time + totals.tx_time;
-        Ok(Evaluation {
-            per_user: costs,
-            totals,
-        })
+        evaluate_plan_for(
+            self.params(),
+            self.users().iter().map(crate::UserWorkload::graph),
+            plan,
+        )
     }
 }
 

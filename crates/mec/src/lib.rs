@@ -49,7 +49,7 @@ mod cost;
 mod params;
 mod scenario;
 
-pub use cost::{CostSummary, Evaluation, UserCost};
+pub use cost::{evaluate_plan_for, validate_plan_for, CostSummary, Evaluation, UserCost};
 pub use params::{AllocationPolicy, SystemParams};
 pub use scenario::{Scenario, UserWorkload};
 

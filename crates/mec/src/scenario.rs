@@ -138,30 +138,18 @@ impl Scenario {
 
     /// Validates an offloading plan against this scenario: one
     /// partition per user, covering the graph, with every pinned node
-    /// kept local.
+    /// kept local (delegates to [`crate::validate_plan_for`] over this
+    /// scenario's user graphs).
     ///
     /// # Errors
     ///
     /// See [`ModelError`] variants for each violation.
     pub fn validate_plan(&self, plan: &[Bipartition]) -> Result<(), ModelError> {
-        self.params.validate()?;
-        if plan.len() != self.users.len() {
-            return Err(ModelError::PlanLengthMismatch {
-                users: self.users.len(),
-                plans: plan.len(),
-            });
-        }
-        for (i, (user, cut)) in self.users.iter().zip(plan).enumerate() {
-            if cut.len() < user.graph.node_count() {
-                return Err(ModelError::PartitionTooSmall { user: i });
-            }
-            for n in user.graph.node_ids() {
-                if !user.graph.is_offloadable(n) && cut.side(n) == mec_graph::Side::Remote {
-                    return Err(ModelError::PinnedNodeOffloaded { user: i, node: n });
-                }
-            }
-        }
-        Ok(())
+        crate::validate_plan_for(
+            &self.params,
+            self.users.iter().map(UserWorkload::graph),
+            plan,
+        )
     }
 }
 

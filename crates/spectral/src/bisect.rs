@@ -147,6 +147,13 @@ impl SpectralBisector {
     /// are fine: `λ₂ = 0` and the eigenvector separates components, so
     /// the returned cut has zero weight.
     ///
+    /// This is a thin shim over
+    /// [`bisect_reusing`](SpectralBisector::bisect_reusing) with a
+    /// throwaway arena; pipeline callers never take it — the
+    /// offloader's execution context owns one [`CutScratch`] per
+    /// serial batch (and one per cluster task) and threads it through
+    /// the reusing entry point.
+    ///
     /// # Errors
     ///
     /// - [`SpectralError::EmptyGraph`] when `g` has no nodes;

@@ -107,7 +107,11 @@ impl RecursiveBisector {
         self
     }
 
-    /// Partitions `g`, allocating a fresh arena.
+    /// Partitions `g`, allocating a fresh arena — a thin shim over
+    /// [`partition_reusing`](RecursiveBisector::partition_reusing) for
+    /// one-off callers. Batch callers (the offloader's execution
+    /// context) own a long-lived [`CutScratch`] instead and thread it
+    /// through the reusing entry point.
     ///
     /// # Errors
     ///

@@ -19,7 +19,10 @@ use mec_linalg::LanczosScratch;
 /// high-water mark and are recycled from then on. The arena is `Send`,
 /// so a cluster task can own one and reuse it across every component
 /// it cuts — but it is deliberately not `Sync`-shared: each worker
-/// threads its own.
+/// threads its own. In the pipeline the arena's owner is the
+/// execution context: `copmecs_core::ExecCtx`'s serial backend embeds
+/// one `CutScratch` that survives across solves, and its cluster
+/// backend gives each stage task a private arena.
 #[derive(Debug, Default)]
 pub struct CutScratch {
     /// Krylov-recurrence buffer pool (basis vectors, work vectors).

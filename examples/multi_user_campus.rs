@@ -34,6 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let offloader = Offloader::builder()
         .strategy(StrategyKind::Spectral)
         .build();
+    // one execution context across every solve below: the serial
+    // backend's cut arena stays warm, so repeated solves skip the
+    // cold-start allocations of the spectral stage
+    let mut ctx = offloader.exec_ctx();
 
     println!("== crowd growth (EqualShare policy) ==");
     println!(
@@ -42,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for users in [1usize, 4, 16, 64, 128] {
         let s = scenario(users, AllocationPolicy::EqualShare);
-        let report = offloader.solve(&s)?;
+        let report = offloader.solve_with(&mut ctx, &s)?;
         let (remote, total): (usize, usize) = report
             .plan
             .iter()
@@ -67,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("fifo", AllocationPolicy::Fifo),
     ] {
         let s = scenario(32, policy);
-        let report = offloader.solve(&s)?;
+        let report = offloader.solve_with(&mut ctx, &s)?;
         let tt = &report.evaluation.totals;
         println!(
             "{:>20} {:>12.2} {:>12.2} {:>12.2}",

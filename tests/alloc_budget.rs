@@ -254,6 +254,42 @@ fn warm_sharded_recording_is_allocation_free() {
     );
 }
 
+/// A steady-state [`OffloadSession::replan`] evaluates the live crowd
+/// directly — it must NOT rebuild a `Scenario` (re-collecting every
+/// user's name and graph handle) per call. This pins the allocation
+/// count of a warm replan against a calibrated ceiling sized for the
+/// greedy pass plus plan/evaluation assembly alone; a regression back
+/// to per-call scenario rebuilding blows well past it.
+#[test]
+fn steady_state_replan_allocations_stay_pinned() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let mut session = OffloadSession::new(SystemParams::default());
+    for i in 0..6u64 {
+        let g = NetgenSpec::new(60, 180)
+            .seed(100 + i)
+            .generate()
+            .expect("generable workload");
+        session
+            .join(format!("u{i}"), std::sync::Arc::new(g))
+            .unwrap();
+    }
+    // warm-up: interns strings, grows any lazily-sized buffers
+    session.replan().unwrap();
+    let warm = (0..5)
+        .map(|_| alloc_delta(|| drop(session.replan().unwrap())))
+        .min()
+        .unwrap();
+    // calibrated: a 6-user replan measures ~215 allocations (greedy
+    // part-system + per-user costs + report assembly); the ceiling
+    // leaves ~2.5x headroom while staying low enough that per-call
+    // scenario rebuilding (one clone per user per replan on top)
+    // cannot creep back in unnoticed
+    assert!(
+        warm <= 600,
+        "steady-state replan allocation count regressed: {warm} > 600"
+    );
+}
+
 #[test]
 fn warm_start_toggle_preserves_cut_quality_across_seeds() {
     for seed in [5u64, 11, 23, 42] {

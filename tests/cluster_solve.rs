@@ -1,12 +1,17 @@
 //! The cluster-backed solve path must be indistinguishable from the
-//! serial one: bit-identical plans at every worker count, batch joins
-//! equivalent to repeated joins, and worker panics surfaced as typed
-//! pipeline errors instead of hangs or aborts.
+//! serial one. Since the `ExecCtx` unification there is only ONE
+//! `Offloader::solve_with` implementation — these tests pin that the
+//! backend choice carried by the context changes wall-clock behaviour
+//! only: bit-identical plans at every worker count, batch joins
+//! equivalent to repeated joins, failing cut strategies surfacing the
+//! same typed error on both backends, and worker panics surfacing as
+//! typed pipeline errors instead of hangs or aborts.
 
-use copmecs::core::PipelineError;
+use copmecs::core::{CutError, PipelineError};
 use copmecs::engine::{Cluster, EngineError};
 use copmecs::graph::Bipartition;
 use copmecs::prelude::*;
+use copmecs::spectral::SpectralError;
 use std::sync::Arc;
 
 fn crowd(users: usize, nodes: usize, seed: u64) -> Scenario {
@@ -19,43 +24,74 @@ fn crowd(users: usize, nodes: usize, seed: u64) -> Scenario {
     }))
 }
 
-#[test]
-fn cluster_plans_are_bit_identical_across_strategies_seeds_and_workers() {
-    let strategies = [
-        StrategyKind::Spectral,
-        StrategyKind::MaxFlow,
-        StrategyKind::KernighanLin,
-    ];
-    for strategy in strategies {
-        for seed in [3u64, 57, 91] {
-            let scenario = crowd(5, 60, seed);
-            let serial = Offloader::builder()
-                .strategy(strategy.clone())
-                .build()
-                .solve(&scenario)
-                .unwrap();
-            for workers in [1usize, 2, 8] {
-                let cluster = Arc::new(Cluster::new(workers).unwrap());
-                let report = Offloader::builder()
-                    .strategy(strategy.clone())
-                    .cluster(cluster)
-                    .build()
-                    .solve(&scenario)
-                    .unwrap();
-                assert_eq!(
-                    serial.plan, report.plan,
-                    "plan diverged: strategy={} seed={seed} workers={workers}",
-                    serial.strategy
-                );
-                assert_eq!(
-                    serial.evaluation.totals.objective().to_bits(),
-                    report.evaluation.totals.objective().to_bits(),
-                    "objective diverged: strategy={} seed={seed} workers={workers}",
-                    serial.strategy
-                );
-            }
+/// The shared parity check: ONE offloader, solved once under a serial
+/// [`ExecCtx`] and once per cluster size under a cluster context. The
+/// plans and the priced objective must be bit-identical — the backend
+/// is a performance channel, never a behavioural one.
+fn assert_backend_parity(strategy: StrategyKind, seeds: &[u64], worker_counts: &[usize]) {
+    let offloader = Offloader::builder().strategy(strategy).build();
+    for &seed in seeds {
+        let scenario = crowd(5, 60, seed);
+        let serial = offloader
+            .solve_with(&mut ExecCtx::serial(), &scenario)
+            .expect("serial solve succeeds");
+        for &workers in worker_counts {
+            let cluster = Arc::new(Cluster::new(workers).unwrap());
+            let mut ctx = ExecCtx::cluster(cluster);
+            let report = offloader
+                .solve_with(&mut ctx, &scenario)
+                .expect("cluster solve succeeds");
+            assert_eq!(
+                serial.plan, report.plan,
+                "plan diverged: strategy={} seed={seed} workers={workers}",
+                serial.strategy
+            );
+            assert_eq!(
+                serial.evaluation.totals.objective().to_bits(),
+                report.evaluation.totals.objective().to_bits(),
+                "objective diverged: strategy={} seed={seed} workers={workers}",
+                serial.strategy
+            );
         }
     }
+}
+
+#[test]
+fn spectral_plans_are_bit_identical_across_backends() {
+    assert_backend_parity(StrategyKind::Spectral, &[3, 57, 91], &[1, 2, 8]);
+}
+
+#[test]
+fn max_flow_plans_are_bit_identical_across_backends() {
+    assert_backend_parity(StrategyKind::MaxFlow, &[3, 57, 91], &[1, 2, 8]);
+}
+
+#[test]
+fn kernighan_lin_plans_are_bit_identical_across_backends() {
+    assert_backend_parity(StrategyKind::KernighanLin, &[3, 57, 91], &[1, 2, 8]);
+}
+
+#[test]
+fn multilevel_plans_are_bit_identical_across_backends() {
+    assert_backend_parity(StrategyKind::Multilevel, &[3, 57], &[2, 8]);
+}
+
+#[test]
+fn builder_cluster_and_explicit_ctx_agree() {
+    // configuring the cluster on the builder (`Offloader::solve` builds
+    // the ctx internally) must match handing solve_with an explicit
+    // cluster context
+    let scenario = crowd(4, 50, 11);
+    let cluster = Arc::new(Cluster::new(3).unwrap());
+    let via_builder = Offloader::builder()
+        .cluster(Arc::clone(&cluster))
+        .build()
+        .solve(&scenario)
+        .unwrap();
+    let via_ctx = Offloader::new()
+        .solve_with(&mut ExecCtx::cluster(cluster), &scenario)
+        .unwrap();
+    assert_eq!(via_builder.plan, via_ctx.plan);
 }
 
 #[test]
@@ -104,8 +140,10 @@ fn join_many_matches_repeated_joins_bit_for_bit() {
         one_by_one.join(format!("u{i}"), Arc::clone(g)).unwrap();
     }
 
-    let mut batched = OffloadSession::new(SystemParams::default())
-        .with_cluster(Arc::new(Cluster::new(3).unwrap()));
+    // the batched session runs its joins under a cluster context,
+    // handed over wholesale via with_exec_ctx
+    let ctx = ExecCtx::cluster(Arc::new(Cluster::new(3).unwrap()));
+    let mut batched = OffloadSession::new(SystemParams::default()).with_exec_ctx(ctx);
     batched
         .join_many(
             graphs
@@ -121,6 +159,57 @@ fn join_many_matches_repeated_joins_bit_for_bit() {
     assert_eq!(
         a.evaluation.totals.objective().to_bits(),
         b.evaluation.totals.objective().to_bits()
+    );
+}
+
+/// Strategy whose every cut fails with a typed error — drives the
+/// error path without panicking any thread.
+#[derive(Debug, Clone)]
+struct FailingStrategy;
+
+impl CutStrategy for FailingStrategy {
+    fn boxed_clone(&self) -> Box<dyn CutStrategy> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "failing"
+    }
+
+    fn cut(&self, _g: &Graph) -> Result<Bipartition, CutError> {
+        Err(CutError::from(SpectralError::EmptyGraph))
+    }
+}
+
+#[test]
+fn failing_strategy_surfaces_the_same_cut_error_on_both_backends() {
+    // the unified path must not launder a task's typed error into an
+    // engine error: a failing cut is PipelineError::Cut on BOTH
+    // backends, with the lowest-index task's failure winning
+    let scenario = crowd(3, 40, 7);
+    let offloader = Offloader::builder().build_with_strategy(Box::new(FailingStrategy));
+
+    let serial_err = offloader
+        .solve_with(&mut ExecCtx::serial(), &scenario)
+        .unwrap_err();
+    assert!(
+        matches!(
+            serial_err,
+            PipelineError::Cut(CutError::Spectral(SpectralError::EmptyGraph))
+        ),
+        "serial backend: expected the strategy's cut error, got: {serial_err}"
+    );
+
+    let cluster = Arc::new(Cluster::new(2).unwrap());
+    let cluster_err = offloader
+        .solve_with(&mut ExecCtx::cluster(cluster), &scenario)
+        .unwrap_err();
+    assert!(
+        matches!(
+            cluster_err,
+            PipelineError::Cut(CutError::Spectral(SpectralError::EmptyGraph))
+        ),
+        "cluster backend: expected the strategy's cut error, got: {cluster_err}"
     );
 }
 
@@ -144,6 +233,11 @@ impl CutStrategy for ExplodingStrategy {
 
 #[test]
 fn panicking_strategy_surfaces_as_pipeline_error_not_hang() {
+    if force_serial() {
+        // under MEC_FORCE_SERIAL the panic stays on the calling thread
+        // (serial backend has no worker isolation); nothing to check
+        return;
+    }
     let scenario = crowd(3, 40, 7);
     let offloader = Offloader::builder()
         .cluster(Arc::new(Cluster::new(2).unwrap()))

@@ -1,0 +1,181 @@
+//! Exit-safe telemetry: every pipeline entry point must finish its
+//! span, record its `*_nanos` histogram, and flush the sink on EVERY
+//! exit — success, `?`-propagated error, or panic. Pre-`ExecCtx` the
+//! error paths returned before the flush, leaving worker-shard records
+//! stranded in the sharded recorder's rings; these tests read the
+//! aggregated registry *without* triggering an implicit flush, so they
+//! fail loudly if any path regresses to an early return.
+
+use copmecs::core::{CutError, PipelineError};
+use copmecs::engine::Cluster;
+use copmecs::graph::Bipartition;
+use copmecs::obs::ShardConfig;
+use copmecs::prelude::*;
+use copmecs::spectral::SpectralError;
+use std::sync::Arc;
+
+/// Strategy whose every cut fails with a typed error.
+#[derive(Debug, Clone)]
+struct FailingStrategy;
+
+impl CutStrategy for FailingStrategy {
+    fn boxed_clone(&self) -> Box<dyn CutStrategy> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "failing"
+    }
+
+    fn cut(&self, _g: &Graph) -> Result<Bipartition, CutError> {
+        Err(CutError::from(SpectralError::EmptyGraph))
+    }
+}
+
+/// A sharded recorder with the background aggregator disabled:
+/// records stay buffered in the per-thread ring shards until someone
+/// calls `flush()`. Reading `metrics()` does NOT flush, which is the
+/// whole point — the registry only sees what the pipeline's exit
+/// epilogue actually drained.
+fn manual_flush_recorder() -> Arc<ShardedRecorder> {
+    Arc::new(ShardedRecorder::with_config(ShardConfig {
+        drain_interval: None,
+        ..ShardConfig::default()
+    }))
+}
+
+fn crowd(users: usize, nodes: usize, seed: u64) -> Scenario {
+    Scenario::new(SystemParams::default()).with_users((0..users).map(|i| {
+        let g = NetgenSpec::new(nodes, nodes * 3)
+            .seed(seed + i as u64)
+            .generate()
+            .expect("generable workload");
+        UserWorkload::new(format!("u{i}"), g)
+    }))
+}
+
+#[test]
+fn failing_cut_under_a_cluster_still_drains_worker_shards() {
+    let rec = manual_flush_recorder();
+    let sink: Arc<dyn TraceSink> = Arc::clone(&rec) as Arc<dyn TraceSink>;
+    let cluster = Arc::new(Cluster::with_telemetry(2, None, Some(Arc::clone(&sink))).unwrap());
+
+    let offloader = Offloader::builder()
+        .cluster(cluster)
+        .trace_sink(sink)
+        .build_with_strategy(Box::new(FailingStrategy));
+
+    let err = offloader.solve(&crowd(3, 40, 7)).unwrap_err();
+    assert!(matches!(err, PipelineError::Cut(_)), "got: {err}");
+
+    // Each of the 3 worker tasks recorded its compression histogram
+    // into its own shard before its cut failed, and the solve scope
+    // recorded pipeline.solve_nanos on the calling thread. The error
+    // epilogue must have drained ALL of it into the registry — this
+    // read does not flush.
+    let snap = rec.metrics().snapshot();
+    let compression = snap
+        .histogram("stage.compression_nanos")
+        .expect("worker-shard samples drained on the error path");
+    // the cluster runs every task to completion (3 samples); under
+    // MEC_FORCE_SERIAL the serial fallback fails fast after the first
+    let expected = if force_serial() { 1 } else { 3 };
+    assert_eq!(compression.count(), expected, "one sample per task run");
+    let solve = snap
+        .histogram("pipeline.solve_nanos")
+        .expect("solve histogram recorded on the error path");
+    assert_eq!(solve.count(), 1);
+    // cutting failed before its histogram, so it must NOT appear
+    assert!(snap.histogram("stage.cutting_nanos").is_none());
+
+    // exact conservation: everything emitted was either folded into
+    // the aggregated views or accounted as dropped — never stranded
+    let dropped = rec.dropped_records();
+    assert_eq!(
+        dropped.total(),
+        0,
+        "nothing lost at this volume: {dropped:?}"
+    );
+}
+
+#[test]
+fn failing_cut_on_the_serial_backend_flushes_too() {
+    let rec = manual_flush_recorder();
+    let offloader = Offloader::builder()
+        .trace_sink(Arc::clone(&rec) as Arc<dyn TraceSink>)
+        .build_with_strategy(Box::new(FailingStrategy));
+
+    // exec_ctx() carries the builder's sink; with no cluster
+    // configured the backend is serial
+    let mut ctx = offloader.exec_ctx();
+    assert!(!ctx.is_cluster());
+    let err = offloader
+        .solve_with(&mut ctx, &crowd(2, 40, 9))
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::Cut(_)), "got: {err}");
+
+    let snap = rec.metrics().snapshot();
+    // serial fails fast: the first user's compression lands, its cut
+    // errors, and the batch stops — exactly one sample, fully drained
+    assert_eq!(
+        snap.histogram("stage.compression_nanos")
+            .expect("serial error path flushed")
+            .count(),
+        1
+    );
+    assert_eq!(snap.histogram("pipeline.solve_nanos").unwrap().count(), 1);
+}
+
+#[test]
+fn join_many_error_path_records_its_histogram_and_flushes() {
+    let rec = manual_flush_recorder();
+    let mut session = OffloadSession::new(SystemParams::default())
+        .with_strategy(Box::new(FailingStrategy))
+        .with_trace_sink(Arc::clone(&rec) as Arc<dyn TraceSink>);
+
+    let graphs = (0..3).map(|i| {
+        let g = NetgenSpec::new(40, 120).seed(70 + i).generate().unwrap();
+        (format!("u{i}"), Arc::new(g))
+    });
+    let err = session.join_many(graphs).unwrap_err();
+    assert!(matches!(err, PipelineError::Cut(_)), "got: {err}");
+
+    let snap = rec.metrics().snapshot();
+    assert_eq!(
+        snap.histogram("session.join_many_nanos")
+            .expect("join_many records its histogram even when the batch fails")
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn leave_flushes_like_every_other_session_mutation() {
+    let rec = manual_flush_recorder();
+    let mut session = OffloadSession::new(SystemParams::default())
+        .with_trace_sink(Arc::clone(&rec) as Arc<dyn TraceSink>);
+    let g = Arc::new(NetgenSpec::new(40, 120).seed(5).generate().unwrap());
+    session.join("u0", g).unwrap();
+
+    assert!(session.leave("u0"));
+    // no implicit flush in this read: leave's own epilogue must have
+    // drained its span, histogram, and counter
+    let snap = rec.metrics().snapshot();
+    assert_eq!(
+        snap.histogram("session.leave_nanos")
+            .expect("leave records and flushes its telemetry")
+            .count(),
+        1
+    );
+
+    // leaving an unknown user is a no-op and records nothing new
+    assert!(!session.leave("ghost"));
+    assert_eq!(
+        rec.metrics()
+            .snapshot()
+            .histogram("session.leave_nanos")
+            .unwrap()
+            .count(),
+        1
+    );
+}
