@@ -18,6 +18,7 @@
 //! commands run (`--serve-for SECS` keeps the endpoint up afterwards).
 
 use mec_bench::ablation;
+use mec_bench::churn::{self, ChurnSpec};
 use mec_bench::energy::{self, EnergyPoint};
 use mec_bench::multiuser::{self, MultiUserConfig, MultiUserPoint};
 use mec_bench::perfgate::{self, GateStatus};
@@ -199,7 +200,7 @@ fn parse_args() -> Options {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|bench|perf-gate|check|all] \
+        "usage: experiments [table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablate|bench|churn|perf-gate|churn-gate|check|all] \
          [--quick] [--extra] [--seed N] [--out DIR] [--trace-out FILE] [--workers N] \
          [--bench-out FILE] [--metrics-out FILE] [--baseline FILE] [--tolerance FRAC] \
          [--serve ADDR] [--serve-for SECS] [--chrome-trace-out FILE] [--obs-budget FRAC]"
@@ -613,13 +614,18 @@ fn fmt_sample(name: &str, v: u64) -> String {
 /// Prints the per-stage latency percentile table from the live
 /// registry: one row per recorded histogram of interest.
 fn render_stage_percentiles(registry: &MetricsRegistry) {
-    const STAGES: [&str; 8] = [
+    const STAGES: [&str; 13] = [
         "stage.compression_nanos",
         "stage.cutting_nanos",
         "stage.greedy_nanos",
         "pipeline.solve_nanos",
         "session.join_nanos",
+        "session.join_many_nanos",
         "session.replan_nanos",
+        "session.leave_many_nanos",
+        "service.replan_nanos",
+        "greedy.evaluations",
+        "greedy.moves",
         "lanczos.iterations",
         "lanczos.checkpoints",
     ];
@@ -779,6 +785,118 @@ fn run_fig9(opts: &Options, sink: &Arc<dyn TraceSink>, registry: &Arc<MetricsReg
 /// Re-runs the committed baseline's hot-path spec and gates the fresh
 /// numbers against it. Exits non-zero when any metric fails, so CI can
 /// consume the verdict directly.
+fn run_churn(opts: &Options, sink: &Arc<dyn TraceSink>) {
+    println!("== streaming churn: delta replans over sharded sessions ==\n");
+    let spec = ChurnSpec {
+        seed: opts.seed,
+        ..if opts.quick {
+            ChurnSpec::quick()
+        } else {
+            ChurnSpec::default()
+        }
+    };
+    println!(
+        "crowd {} across {} shards, {} events ({} full-mode samples), seed {}\n",
+        spec.users, spec.shards, spec.events, spec.full_samples, spec.seed
+    );
+    let report = churn::run(&spec, Some(Arc::clone(sink)));
+    println!(
+        "{}",
+        render_table(
+            &["metric", "value"],
+            &[
+                vec![
+                    "sustained users".to_string(),
+                    report.sustained_users.to_string()
+                ],
+                vec!["peak users".to_string(), report.peak_users.to_string()],
+                vec![
+                    "delta replan p50".to_string(),
+                    fmt_sample("replan_nanos", report.replan_p50_nanos),
+                ],
+                vec![
+                    "delta replan p99".to_string(),
+                    fmt_sample("replan_nanos", report.replan_p99_nanos),
+                ],
+                vec![
+                    "delta replan mean".to_string(),
+                    fmt_sample("replan_nanos", report.replan_mean_nanos),
+                ],
+                vec![
+                    "full replan mean".to_string(),
+                    fmt_sample("replan_nanos", report.full_mean_nanos),
+                ],
+                vec![
+                    "delta-vs-full speedup".to_string(),
+                    format!("{:.2}x", report.speedup),
+                ],
+            ],
+        )
+    );
+    let path = opts
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_churn.json".to_string());
+    write_json(path, &report);
+}
+
+fn run_churn_gate(opts: &Options) {
+    let path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| "BENCH_churn.json".to_string());
+    println!("== churn gate: fresh churn run vs {path} ==\n");
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
+    let baseline = perfgate::parse_churn_baseline(&json).unwrap_or_else(|e| die(&e));
+    println!(
+        "re-running the baseline's spec (users {}, shards {}, events {}, seed {}) \
+         at {:.0}% tolerance, speedup floor {:.0}x\n",
+        baseline.spec.users,
+        baseline.spec.shards,
+        baseline.spec.events,
+        baseline.spec.seed,
+        100.0 * opts.tolerance,
+        perfgate::CHURN_SPEEDUP_FLOOR,
+    );
+    let fresh = churn::run(&baseline.spec, None);
+    let report = perfgate::evaluate_churn(&baseline, &fresh, opts.tolerance);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.metric.to_string(),
+                format!("{:.2}", r.baseline),
+                format!("{:.2}", r.fresh),
+                format!("{:.3}x", r.ratio),
+                r.status.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["metric", "baseline", "fresh", "ratio", "verdict"], &rows)
+    );
+    println!(
+        "fresh: speedup {:.2}x, p50 {}, p99 {}",
+        fresh.speedup,
+        fmt_sample("replan_nanos", fresh.replan_p50_nanos),
+        fmt_sample("replan_nanos", fresh.replan_p99_nanos),
+    );
+    match report.worst() {
+        GateStatus::Pass => println!("\nchurn gate: PASS"),
+        GateStatus::Warn => println!(
+            "\nchurn gate: WARN — within tolerance but drifting; re-run on a quiet host \
+             or refresh the baseline if the regression is intended"
+        ),
+        GateStatus::Fail => {
+            println!("\nchurn gate: FAIL — at least one metric regressed beyond tolerance");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_perf_gate(opts: &Options) {
     let path = opts
         .baseline
@@ -906,7 +1024,9 @@ fn main() {
         "fig9" => run_fig9(&opts, &sink, &registry),
         "ablate" => run_ablation(&opts, &sink),
         "bench" => run_bench(&opts),
+        "churn" => run_churn(&opts, &sink),
         "perf-gate" => run_perf_gate(&opts),
+        "churn-gate" => run_churn_gate(&opts),
         "check" => run_check(&opts),
         "all" => {
             run_table1(&opts, &sink);

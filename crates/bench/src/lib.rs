@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod churn;
 pub mod energy;
 pub mod multiuser;
 pub mod perfgate;

@@ -10,6 +10,7 @@
 //! tolerance band; structural metrics (`parts`, `cut_weight`) are
 //! deterministic and compared exactly.
 
+use crate::churn::{ChurnReport, ChurnSpec};
 use crate::spectral_hotpath::{HotpathReport, HotpathSpec};
 use serde::{find_field, Value};
 use std::fmt;
@@ -426,6 +427,108 @@ pub fn evaluate(
     }
 }
 
+/// The slice of the committed `BENCH_churn.json` the churn gate
+/// compares against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnBaseline {
+    /// The churn workload to re-run.
+    pub spec: ChurnSpec,
+    /// `replan_p99_nanos` from the baseline.
+    pub replan_p99_nanos: u64,
+    /// `replan_p50_nanos` from the baseline.
+    pub replan_p50_nanos: u64,
+    /// `speedup` from the baseline (informational; the verdict uses
+    /// the absolute floor).
+    pub speedup: f64,
+    /// `sustained_users` from the baseline (deterministic).
+    pub sustained_users: u64,
+}
+
+/// The absolute delta-vs-full speedup floor the churn gate enforces,
+/// independent of what the committed baseline achieved.
+pub const CHURN_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Parses the committed `BENCH_churn.json` into the slice the churn
+/// gate needs.
+///
+/// # Errors
+///
+/// A human-readable message when the file is not valid JSON or lacks a
+/// required field.
+pub fn parse_churn_baseline(json: &str) -> Result<ChurnBaseline, String> {
+    let value: Value = serde_json::from_str(json).map_err(|e| format!("baseline JSON: {e}"))?;
+    let top = value.as_object().ok_or("baseline is not a JSON object")?;
+    let spec = find_field(top, "spec")
+        .and_then(Value::as_object)
+        .ok_or("baseline lacks a spec object")?;
+    Ok(ChurnBaseline {
+        spec: ChurnSpec {
+            users: field_u64(spec, "users")? as usize,
+            shards: field_u64(spec, "shards")? as usize,
+            nodes: field_u64(spec, "nodes")? as usize,
+            graph_pool: field_u64(spec, "graph_pool")? as usize,
+            events: field_u64(spec, "events")? as usize,
+            full_samples: field_u64(spec, "full_samples")? as usize,
+            seed: field_u64(spec, "seed")?,
+        },
+        replan_p99_nanos: field_u64(top, "replan_p99_nanos")?,
+        replan_p50_nanos: field_u64(top, "replan_p50_nanos")?,
+        speedup: field_f64(top, "speedup")?,
+        sustained_users: field_u64(top, "sustained_users")?,
+    })
+}
+
+/// Compares a fresh churn run against the committed `BENCH_churn.json`
+/// baseline.
+///
+/// Latency rows (p50/p99) use the tolerance band against the baseline;
+/// the delta-vs-full speedup is gated against the absolute
+/// [`CHURN_SPEEDUP_FLOOR`] (a warn below twice the floor) so the
+/// incremental path cannot quietly decay toward the from-scratch one
+/// even if a slow baseline were ever committed; the sustained crowd is
+/// seeded and deterministic, so it is compared exactly.
+pub fn evaluate_churn(baseline: &ChurnBaseline, fresh: &ChurnReport, tolerance: f64) -> GateReport {
+    let rows = vec![
+        // speedup vs the absolute floor: baseline column shows the
+        // floor, so the table reads "required vs measured"
+        GateRow {
+            metric: "churn.speedup",
+            baseline: CHURN_SPEEDUP_FLOOR,
+            fresh: fresh.speedup,
+            ratio: fresh.speedup / CHURN_SPEEDUP_FLOOR,
+            status: if fresh.speedup < CHURN_SPEEDUP_FLOOR {
+                GateStatus::Fail
+            } else if fresh.speedup < 2.0 * CHURN_SPEEDUP_FLOOR {
+                GateStatus::Warn
+            } else {
+                GateStatus::Pass
+            },
+        },
+        gate_lower_is_better(
+            "churn.replan_p99_nanos",
+            baseline.replan_p99_nanos as f64,
+            fresh.replan_p99_nanos as f64,
+            tolerance,
+        ),
+        gate_lower_is_better(
+            "churn.replan_p50_nanos",
+            baseline.replan_p50_nanos as f64,
+            fresh.replan_p50_nanos as f64,
+            tolerance,
+        ),
+        gate_exact(
+            "churn.sustained_users",
+            baseline.sustained_users as f64,
+            fresh.sustained_users as f64,
+        ),
+    ];
+    GateReport {
+        rows,
+        tolerance,
+        notes: Vec::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,5 +915,108 @@ mod tests {
             .rows
             .iter()
             .any(|r| r.metric == "optimized_simd.cut_weight"));
+    }
+
+    fn churn_report(speedup: f64, p99: u64, sustained: usize) -> ChurnReport {
+        ChurnReport {
+            spec: ChurnSpec::quick(),
+            sustained_users: sustained,
+            peak_users: sustained + 10,
+            replan_p50_nanos: 1_000_000,
+            replan_p99_nanos: p99,
+            replan_mean_nanos: 1_100_000,
+            full_mean_nanos: (1_100_000.0 * speedup) as u64,
+            full_samples: 6,
+            speedup,
+            final_objective: 1234.5,
+        }
+    }
+
+    fn churn_baseline() -> ChurnBaseline {
+        ChurnBaseline {
+            spec: ChurnSpec::quick(),
+            replan_p99_nanos: 2_000_000,
+            replan_p50_nanos: 1_000_000,
+            speedup: 20.0,
+            sustained_users: 1_480,
+        }
+    }
+
+    #[test]
+    fn churn_baseline_roundtrips_through_json() {
+        let json = serde_json::to_string(&churn_report(20.0, 2_000_000, 1_480)).unwrap();
+        let parsed = parse_churn_baseline(&json).expect("parses");
+        assert_eq!(parsed, churn_baseline());
+        assert_eq!(parsed.spec, ChurnSpec::quick());
+    }
+
+    #[test]
+    fn healthy_churn_run_passes() {
+        let report = evaluate_churn(
+            &churn_baseline(),
+            &churn_report(20.0, 2_000_000, 1_480),
+            0.25,
+        );
+        assert_eq!(report.worst(), GateStatus::Pass);
+        assert_eq!(report.rows.len(), 4);
+    }
+
+    #[test]
+    fn churn_speedup_below_floor_fails_regardless_of_baseline() {
+        // even against a slow committed baseline the absolute 5x floor
+        // holds — the incremental path must stay clearly ahead of full
+        let mut slow = churn_baseline();
+        slow.speedup = 4.0;
+        let report = evaluate_churn(&slow, &churn_report(4.0, 2_000_000, 1_480), 0.25);
+        assert_eq!(
+            report
+                .rows
+                .iter()
+                .find(|r| r.metric == "churn.speedup")
+                .unwrap()
+                .status,
+            GateStatus::Fail
+        );
+        let warn = evaluate_churn(
+            &churn_baseline(),
+            &churn_report(6.0, 2_000_000, 1_480),
+            0.25,
+        );
+        assert_eq!(
+            warn.rows
+                .iter()
+                .find(|r| r.metric == "churn.speedup")
+                .unwrap()
+                .status,
+            GateStatus::Warn
+        );
+    }
+
+    #[test]
+    fn churn_p99_regression_fails() {
+        let report = evaluate_churn(
+            &churn_baseline(),
+            &churn_report(20.0, 3_000_000, 1_480),
+            0.25,
+        );
+        assert_eq!(report.worst(), GateStatus::Fail);
+    }
+
+    #[test]
+    fn churn_sustained_crowd_is_gated_exactly() {
+        let report = evaluate_churn(
+            &churn_baseline(),
+            &churn_report(20.0, 2_000_000, 1_479),
+            0.25,
+        );
+        assert_eq!(
+            report
+                .rows
+                .iter()
+                .find(|r| r.metric == "churn.sustained_users")
+                .unwrap()
+                .status,
+            GateStatus::Fail
+        );
     }
 }

@@ -96,17 +96,46 @@ struct ObjectiveState {
 
 impl ObjectiveState {
     fn new(ps: &PartSystem, params: &SystemParams) -> Self {
+        // Single passes over the part and component arrays instead of
+        // per-user scans: `work_split_of_user` / `tx_volume_of_user`
+        // filter the whole system per user, which is O(users²) at the
+        // crowd sizes the streaming service tracks. The per-user
+        // accumulators below add the same terms in the same order
+        // (each user's records are contiguous and ascending), so the
+        // folded totals are bit-identical to the per-user scans.
         let users = ps.user_count();
+        let oh = params.control_overhead;
+        let mut l_user = vec![0.0; users];
+        let mut rw_user = vec![0.0; users];
+        let mut tv_user = vec![0.0; users];
+        for (u, l) in l_user.iter_mut().enumerate() {
+            *l = ps.pinned_work(u);
+        }
+        for p in ps.parts() {
+            match p.side {
+                Side::Local => l_user[p.user] += p.work,
+                Side::Remote => rw_user[p.user] += p.work,
+            }
+        }
+        for c in ps.components() {
+            if let Some(p2) = c.part2 {
+                if ps.side(c.part1) != ps.side(p2) {
+                    tv_user[c.user] += c.cross_weight + c.cross_count as f64 * oh;
+                }
+            }
+        }
+        for p in ps.parts() {
+            if p.side == Side::Remote {
+                tv_user[p.user] += p.pinned_cut + p.pinned_crossings as f64 * oh;
+            }
+        }
         let mut lw = 0.0;
         let mut rw = 0.0;
         let mut tv = 0.0;
-        let mut rw_user = vec![0.0; users];
-        for (u, slot) in rw_user.iter_mut().enumerate() {
-            let (l, r) = ps.work_split_of_user(u);
-            lw += l;
-            rw += r;
-            *slot = r;
-            tv += ps.tx_volume_of_user(u, params.control_overhead);
+        for u in 0..users {
+            lw += l_user[u];
+            rw += rw_user[u];
+            tv += tv_user[u];
         }
         let offloaders = rw_user.iter().filter(|&&r| r > EPS).count();
         ObjectiveState {
@@ -411,6 +440,38 @@ fn all_moves(ps: &PartSystem) -> Vec<Move> {
     moves
 }
 
+/// The candidates that directly involve the given users: their parts,
+/// components (pair moves and orientation swaps), and whole-user
+/// relocations. This is the warm-start seed set — the moves whose
+/// prices changed *structurally* after churn touched those users; the
+/// capacity-coupled re-pricing every other server-resident part sees
+/// is caught by the rescan phase that follows the seeded drain.
+fn moves_of_users(ps: &PartSystem, users: &[usize]) -> Vec<Move> {
+    let mut targets = Vec::new();
+    let mut swaps = Vec::new();
+    for &u in users {
+        if u >= ps.user_count() {
+            continue;
+        }
+        let mut last_comp = usize::MAX;
+        for &i in ps.parts_of_user(u) {
+            targets.push(Target::Single(i));
+            let c = ps.parts()[i].component;
+            if c != last_comp {
+                targets.push(Target::Pair(c));
+                swaps.push(c);
+                last_comp = c;
+            }
+        }
+        targets.push(Target::User(u));
+    }
+    let mut moves: Vec<Move> = Vec::with_capacity(2 * targets.len() + swaps.len());
+    moves.extend(targets.iter().map(|&t| Move::Home(t)));
+    moves.extend(targets.iter().map(|&t| Move::Out(t)));
+    moves.extend(swaps.into_iter().map(Move::Swap));
+    moves
+}
+
 /// Runs the local search over `ps`, mutating part sides in place.
 ///
 /// After convergence, the all-local plan is checked as a final guard:
@@ -436,7 +497,8 @@ fn emit_step(sink: &dyn TraceSink, moves: usize, objective: f64) {
 }
 
 /// [`run_greedy`] with telemetry: bumps `greedy.evaluated` /
-/// `greedy.accepted` counters, and (when the sink is enabled) emits a
+/// `greedy.accepted` counters, records the per-run `greedy.evaluations`
+/// / `greedy.moves` histograms, and (when the sink is enabled) emits a
 /// `greedy.step` event after every applied move — the objective
 /// trajectory — plus a final `greedy.done` summary. The search itself
 /// is unchanged.
@@ -446,6 +508,76 @@ pub(crate) fn run_greedy_traced(
     mode: GreedyMode,
     sink: &dyn TraceSink,
 ) -> GreedyOutcome {
+    run_greedy_seeded(ps, params, mode, sink, None)
+}
+
+/// Warm-started greedy for delta replans: `ps` already carries a
+/// previously converged placement plus the churned users' fresh
+/// initial splits. A seeded phase drains only the candidates that
+/// involve `dirty_users` (the structurally re-priced moves), then the
+/// standard rescan phases run to the same convergence criterion as a
+/// from-scratch search — one cheap full rescan confirms no
+/// capacity-coupled candidate still improves, so the result is a local
+/// optimum of the *same* neighbourhood the full path searches.
+pub(crate) fn run_greedy_warm(
+    ps: &mut PartSystem,
+    params: &SystemParams,
+    mode: GreedyMode,
+    sink: &dyn TraceSink,
+    dirty_users: &[usize],
+) -> GreedyOutcome {
+    run_greedy_seeded(ps, params, mode, sink, Some(dirty_users))
+}
+
+/// Lazily drains a max-heap of candidates: pop, re-price, repush when
+/// the gain drifted below the runner-up, apply while improving.
+/// Returns `true` when at least one move was applied.
+#[allow(clippy::too_many_arguments)]
+fn drain_heap(
+    heap: &mut BinaryHeap<(Gain, Move)>,
+    state: &mut ObjectiveState,
+    ps: &mut PartSystem,
+    moves: &mut usize,
+    evaluations: &mut usize,
+    move_cap: usize,
+    traced: bool,
+    sink: &dyn TraceSink,
+) -> bool {
+    let mut applied = false;
+    while let Some((_, mv)) = heap.pop() {
+        let Some(gain) = state.gain_of(ps, mv) else {
+            continue;
+        };
+        *evaluations += 1;
+        if gain <= EPS {
+            continue;
+        }
+        // stale (gain drifted below the next candidate): repush
+        if let Some(&(next, _)) = heap.peek() {
+            if gain + EPS < next.0 {
+                heap.push((Gain(gain), mv));
+                continue;
+            }
+        }
+        *moves += state.apply_move(ps, mv);
+        if traced {
+            emit_step(sink, *moves, state.objective());
+        }
+        applied = true;
+        if *moves >= move_cap {
+            break;
+        }
+    }
+    applied
+}
+
+fn run_greedy_seeded(
+    ps: &mut PartSystem,
+    params: &SystemParams,
+    mode: GreedyMode,
+    sink: &dyn TraceSink,
+    dirty_users: Option<&[usize]>,
+) -> GreedyOutcome {
     let traced = sink.enabled();
     let mut state = ObjectiveState::new(ps, params);
     let initial = state.objective();
@@ -454,6 +586,34 @@ pub(crate) fn run_greedy_traced(
     // strict cap against pathological float drift; never reached in
     // practice (each applied move improves the objective by > EPS)
     let move_cap = 20 * (ps.parts().len() + ps.user_count() + 4);
+
+    // Warm phase: settle the churned users' own candidates first, so
+    // the rescan phase below usually confirms convergence in one pass
+    // instead of driving the search. (Exhaustive mode re-scans every
+    // candidate per iteration anyway, so seeding buys it nothing.)
+    if let Some(dirty) = dirty_users {
+        if mode == GreedyMode::Lazy && !dirty.is_empty() {
+            let mut heap: BinaryHeap<(Gain, Move)> = BinaryHeap::new();
+            for mv in moves_of_users(ps, dirty) {
+                if let Some(g) = state.gain_of(ps, mv) {
+                    evaluations += 1;
+                    if g > EPS {
+                        heap.push((Gain(g), mv));
+                    }
+                }
+            }
+            drain_heap(
+                &mut heap,
+                &mut state,
+                ps,
+                &mut moves,
+                &mut evaluations,
+                move_cap,
+                traced,
+                sink,
+            );
+        }
+    }
 
     match mode {
         GreedyMode::Exhaustive => {
@@ -488,7 +648,7 @@ pub(crate) fn run_greedy_traced(
             // drift as aggregates change, so when the heap runs dry,
             // rescan everything once and start a new phase if anything
             // still improves.
-            'phases: while moves < move_cap {
+            while moves < move_cap {
                 let mut heap: BinaryHeap<(Gain, Move)> = BinaryHeap::new();
                 for mv in all_moves(ps) {
                     if let Some(g) = state.gain_of(ps, mv) {
@@ -499,35 +659,20 @@ pub(crate) fn run_greedy_traced(
                     }
                 }
                 if heap.is_empty() {
-                    break 'phases;
+                    break;
                 }
-                let mut applied_this_phase = false;
-                while let Some((_, mv)) = heap.pop() {
-                    let Some(gain) = state.gain_of(ps, mv) else {
-                        continue;
-                    };
-                    evaluations += 1;
-                    if gain <= EPS {
-                        continue;
-                    }
-                    // stale (gain drifted below the next candidate): repush
-                    if let Some(&(next, _)) = heap.peek() {
-                        if gain + EPS < next.0 {
-                            heap.push((Gain(gain), mv));
-                            continue;
-                        }
-                    }
-                    moves += state.apply_move(ps, mv);
-                    if traced {
-                        emit_step(sink, moves, state.objective());
-                    }
-                    applied_this_phase = true;
-                    if moves >= move_cap {
-                        break;
-                    }
-                }
+                let applied_this_phase = drain_heap(
+                    &mut heap,
+                    &mut state,
+                    ps,
+                    &mut moves,
+                    &mut evaluations,
+                    move_cap,
+                    traced,
+                    sink,
+                );
                 if !applied_this_phase {
-                    break 'phases;
+                    break;
                 }
             }
         }
@@ -554,6 +699,10 @@ pub(crate) fn run_greedy_traced(
     let final_objective = state.objective();
     sink.counter_add("greedy.evaluated", evaluations as u64);
     sink.counter_add("greedy.accepted", moves as u64);
+    // per-run distributions: the delta-vs-full work reduction shows up
+    // here even when wall-clock noise hides it
+    sink.histogram_record("greedy.evaluations", evaluations as u64);
+    sink.histogram_record("greedy.moves", moves as u64);
     if traced {
         sink.event(
             "greedy.done",
@@ -810,6 +959,78 @@ mod tests {
             let predicted = state.batch_delta(&ps, u, &[i], to);
             state.apply_batch(&mut ps, u, &[i], to);
             assert!((state.objective() - before - predicted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_from_converged_state_is_a_no_op() {
+        let graphs: Vec<_> = (0..6)
+            .map(|i| NetgenSpec::new(50, 140).seed(40 + i).generate().unwrap())
+            .collect();
+        let mut ps = build_ps(&graphs);
+        let p = params();
+        run_greedy(&mut ps, &p, GreedyMode::Lazy);
+        let plan_before = ps.plan();
+        let out = super::run_greedy_warm(&mut ps, &p, GreedyMode::Lazy, &mec_obs::NullSink, &[]);
+        assert_eq!(out.moves, 0, "a converged placement has no improving move");
+        assert_eq!(ps.plan(), plan_before);
+    }
+
+    #[test]
+    fn warm_start_after_churn_matches_full_quality() {
+        // converge on 5 users, remove one and add another, then warm
+        // replan; the objective must be no worse than a from-scratch
+        // greedy over the same crowd.
+        let p = SystemParams {
+            server_capacity: 800.0,
+            ..params()
+        };
+        for seed in [1u64, 7, 21] {
+            let graphs: Vec<_> = (0..5)
+                .map(|i| {
+                    NetgenSpec::new(50, 140)
+                        .seed(seed * 100 + i)
+                        .generate()
+                        .unwrap()
+                })
+                .collect();
+            let mut ps = build_ps(&graphs);
+            run_greedy(&mut ps, &p, GreedyMode::Lazy);
+            ps.remove_user(2);
+            let newcomer = NetgenSpec::new(50, 140)
+                .seed(seed * 100 + 9)
+                .generate()
+                .unwrap();
+            let compressor =
+                Compressor::new(CompressionConfig::new().threshold(ThresholdRule::MeanFactor(1.5)));
+            let outcome = compressor.compress(&newcomer);
+            let cuts: Vec<Bipartition> = outcome
+                .components
+                .iter()
+                .map(|c| {
+                    mec_spectral::SpectralBisector::new()
+                        .bisect(c.quotient.graph())
+                        .expect("non-empty component")
+                        .partition
+                })
+                .collect();
+            ps.add_user(&newcomer, &outcome, &cuts);
+            let dirty = [ps.user_count() - 1];
+            let warm =
+                super::run_greedy_warm(&mut ps, &p, GreedyMode::Lazy, &mec_obs::NullSink, &dirty);
+
+            let mut crowd: Vec<_> = graphs;
+            crowd.remove(2);
+            crowd.push(newcomer);
+            let mut fresh = build_ps(&crowd);
+            let full = run_greedy(&mut fresh, &p, GreedyMode::Lazy);
+            let denom = full.final_objective.abs().max(1.0);
+            assert!(
+                warm.final_objective <= full.final_objective + 1e-9 * denom,
+                "seed {seed}: warm {} worse than full {}",
+                warm.final_objective,
+                full.final_objective
+            );
         }
     }
 

@@ -52,6 +52,7 @@ mod frontend;
 mod greedy;
 mod offloader;
 mod parts;
+mod service;
 mod session;
 mod strategy;
 
@@ -60,7 +61,8 @@ pub use exec::{force_serial, ExecBackend, ExecCtx, ExecScope};
 pub use greedy::{GreedyMode, GreedyOutcome};
 pub use offloader::{OffloadReport, Offloader, OffloaderBuilder, StageTimings};
 pub use parts::{Part, PartSystem};
-pub use session::OffloadSession;
+pub use service::{OffloadService, ServiceReport};
+pub use session::{OffloadSession, ReplanMode};
 pub use strategy::{CutError, CutStrategy, StrategyKind};
 
 use std::error::Error;

@@ -549,17 +549,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_solve_on_shim_matches_solve_with() {
-        let s = scenario(2, 23);
-        let cluster = Arc::new(Cluster::new(2).unwrap());
-        let via_shim = Offloader::new().solve_on(&cluster, &s).unwrap();
-        let mut ctx = ExecCtx::cluster(Arc::clone(&cluster));
-        let via_ctx = Offloader::new().solve_with(&mut ctx, &s).unwrap();
-        assert_eq!(via_shim.plan, via_ctx.plan);
-    }
-
-    #[test]
     fn builder_cluster_knob_routes_solve_through_the_stage_path() {
         let s = scenario(3, 13);
         let cluster = Arc::new(Cluster::new(2).unwrap());

@@ -198,6 +198,169 @@ impl PartSystem {
         user
     }
 
+    /// Removes user `u`, preserving the order of all other users: user
+    /// `u + 1` becomes user `u`, and so on. Part sides of the remaining
+    /// users are untouched, so a converged placement stays converged
+    /// wherever the departure did not change prices.
+    ///
+    /// Cost is `O(parts + components)` — one index-rebasing pass over
+    /// the records after the drained ranges — with no per-node work,
+    /// which is what makes session-level churn cheap: the expensive
+    /// per-node classification of [`add_user`](Self::add_user) runs
+    /// only for arriving users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn remove_user(&mut self, u: usize) {
+        assert!(u < self.user_count(), "user {u} out of bounds");
+        let p_n = self.user_parts[u].len();
+        let (p_lo, c_lo, c_n) = if p_n > 0 {
+            // a user's parts and components are contiguous ranges:
+            // add_user appends them together and removal preserves
+            // grouping, so draining two ranges removes the whole user
+            let p_lo = self.user_parts[u][0];
+            debug_assert!(self.user_parts[u]
+                .iter()
+                .enumerate()
+                .all(|(k, &i)| i == p_lo + k));
+            let c_lo = self.parts[p_lo].component;
+            let c_hi = self.parts[p_lo + p_n - 1].component;
+            (p_lo, c_lo, c_hi - c_lo + 1)
+        } else {
+            // no parts ⇒ no components either; only the slot vectors
+            // shrink, but the later users' indices still need rebasing
+            let p_lo = self.user_parts[u + 1..]
+                .iter()
+                .find_map(|ps| ps.first().copied())
+                .unwrap_or(self.parts.len());
+            let c_lo = self
+                .parts
+                .get(p_lo)
+                .map_or(self.components.len(), |p| p.component);
+            (p_lo, c_lo, 0)
+        };
+        debug_assert!(self.components[c_lo..c_lo + c_n]
+            .iter()
+            .all(|c| c.user == u));
+        self.parts.drain(p_lo..p_lo + p_n);
+        self.components.drain(c_lo..c_lo + c_n);
+        for p in &mut self.parts[p_lo..] {
+            p.user -= 1;
+            p.component -= c_n;
+        }
+        for c in &mut self.components[c_lo..] {
+            c.user -= 1;
+            c.part1 -= p_n;
+            if let Some(p2) = &mut c.part2 {
+                *p2 -= p_n;
+            }
+        }
+        self.pinned_work.remove(u);
+        self.node_counts.remove(u);
+        self.user_parts.remove(u);
+        for ups in &mut self.user_parts[u..] {
+            for i in ups {
+                *i -= p_n;
+            }
+        }
+    }
+
+    /// Replaces user `u`'s workload in place (the same slot), keeping
+    /// every other user's records and part sides untouched — the
+    /// incremental form of a same-name re-join. The new workload gets
+    /// the usual initial placement of [`add_user`](Self::add_user).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds or the cuts do not align with
+    /// the compression's component list.
+    pub fn replace_user(
+        &mut self,
+        u: usize,
+        graph: &Graph,
+        compression: &CompressionOutcome,
+        quotient_cuts: &[Bipartition],
+    ) {
+        self.remove_user(u);
+        self.insert_user_at(u, graph, compression, quotient_cuts);
+    }
+
+    /// Inserts a new user at slot `u` (shifting users `u..` up by one),
+    /// with the same semantics as [`add_user`](Self::add_user).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u > user_count()` or the cuts do not align with the
+    /// compression's component list.
+    pub fn insert_user_at(
+        &mut self,
+        u: usize,
+        graph: &Graph,
+        compression: &CompressionOutcome,
+        quotient_cuts: &[Bipartition],
+    ) {
+        assert!(u <= self.user_count(), "insert slot {u} out of bounds");
+        if u == self.user_count() {
+            self.add_user(graph, compression, quotient_cuts);
+            return;
+        }
+        // Build the newcomer in a scratch system (user index 0, local
+        // part/component indices), then splice the records into place
+        // and rebase both sides of the seam.
+        let mut tmp = PartSystem::new();
+        tmp.add_user(graph, compression, quotient_cuts);
+        let p_lo = self.user_parts[u..]
+            .iter()
+            .find_map(|ps| ps.first().copied())
+            .unwrap_or(self.parts.len());
+        let c_lo = self
+            .parts
+            .get(p_lo)
+            .map_or(self.components.len(), |p| p.component);
+        let p_n = tmp.parts.len();
+        let c_n = tmp.components.len();
+        for p in &mut self.parts[p_lo..] {
+            p.user += 1;
+            p.component += c_n;
+        }
+        for c in &mut self.components[c_lo..] {
+            c.user += 1;
+            c.part1 += p_n;
+            if let Some(p2) = &mut c.part2 {
+                *p2 += p_n;
+            }
+        }
+        for ups in &mut self.user_parts[u..] {
+            for i in ups {
+                *i += p_n;
+            }
+        }
+        for p in &mut tmp.parts {
+            p.user = u;
+            p.component += c_lo;
+        }
+        for c in &mut tmp.components {
+            c.user = u;
+            c.part1 += p_lo;
+            if let Some(p2) = &mut c.part2 {
+                *p2 += p_lo;
+            }
+        }
+        let new_user_parts: Vec<usize> = tmp
+            .user_parts
+            .pop()
+            .expect("scratch system has one user")
+            .into_iter()
+            .map(|i| i + p_lo)
+            .collect();
+        self.parts.splice(p_lo..p_lo, tmp.parts);
+        self.components.splice(c_lo..c_lo, tmp.components);
+        self.pinned_work.insert(u, tmp.pinned_work[0]);
+        self.node_counts.insert(u, tmp.node_counts[0]);
+        self.user_parts.insert(u, new_user_parts);
+    }
+
     /// Number of users registered.
     pub fn user_count(&self) -> usize {
         self.pinned_work.len()
@@ -466,6 +629,145 @@ mod tests {
         let (_, ps) = build_system();
         let s0 = ps.sibling(0).unwrap();
         assert_eq!(ps.sibling(s0), Some(0));
+    }
+
+    /// A distinct multi-component workload per seed, plus its quotient
+    /// cuts (mirrors what the session's front-end hands to `add_user`).
+    fn user_fixture(seed: u64) -> (Graph, CompressionOutcome, Vec<Bipartition>) {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..8)
+            .map(|i| b.add_node((seed * 7 + i) as f64 % 9.0 + 1.0))
+            .collect();
+        let pin = b.add_pinned_node(10.0 + seed as f64);
+        for (a, c) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(n[a], n[c], 10.0).unwrap();
+        }
+        b.add_edge(n[2], n[3], 1.0).unwrap();
+        // second component: a loose pair
+        b.add_edge(n[6], n[7], 0.5 + seed as f64 % 2.0).unwrap();
+        b.add_edge(pin, n[0], 2.0 + seed as f64 % 3.0).unwrap();
+        let g = b.build();
+        let compressor =
+            Compressor::new(CompressionConfig::new().threshold(ThresholdRule::Absolute(5.0)));
+        let outcome = compressor.compress(&g);
+        let cuts: Vec<Bipartition> = outcome
+            .components
+            .iter()
+            .map(|c| {
+                Bipartition::from_fn(c.quotient.graph().node_count(), |i| {
+                    if i == 0 {
+                        Side::Local
+                    } else {
+                        Side::Remote
+                    }
+                })
+            })
+            .collect();
+        (g, outcome, cuts)
+    }
+
+    fn build_from(
+        seeds: &[u64],
+    ) -> (
+        Vec<(Graph, CompressionOutcome, Vec<Bipartition>)>,
+        PartSystem,
+    ) {
+        let fixtures: Vec<_> = seeds.iter().map(|&s| user_fixture(s)).collect();
+        let mut ps = PartSystem::new();
+        for (g, o, c) in &fixtures {
+            ps.add_user(g, o, c);
+        }
+        (fixtures, ps)
+    }
+
+    /// Structural equality probe: everything a consumer can observe.
+    type Observation = (Vec<Bipartition>, Vec<(f64, f64)>, Vec<f64>, Vec<f64>);
+
+    fn observe(ps: &PartSystem) -> Observation {
+        let splits = (0..ps.user_count())
+            .map(|u| ps.work_split_of_user(u))
+            .collect();
+        let tx = (0..ps.user_count())
+            .map(|u| ps.tx_volume_of_user(u, 2.0))
+            .collect();
+        let pinned = (0..ps.user_count()).map(|u| ps.pinned_work(u)).collect();
+        (ps.plan(), splits, tx, pinned)
+    }
+
+    #[test]
+    fn remove_user_matches_fresh_rebuild() {
+        for victim in 0..4 {
+            let (fixtures, mut ps) = build_from(&[3, 5, 8, 11]);
+            ps.remove_user(victim);
+            let mut fresh = PartSystem::new();
+            for (i, (g, o, c)) in fixtures.iter().enumerate() {
+                if i != victim {
+                    fresh.add_user(g, o, c);
+                }
+            }
+            assert_eq!(ps.user_count(), 3);
+            assert_eq!(ps.parts().len(), fresh.parts().len());
+            assert_eq!(ps.components().len(), fresh.components().len());
+            assert_eq!(observe(&ps), observe(&fresh), "victim {victim}");
+            // internal indices stay self-consistent
+            for (i, p) in ps.parts().iter().enumerate() {
+                assert!(ps.parts_of_user(p.user).contains(&i));
+                let c = &ps.components()[p.component];
+                assert!(c.part1 == i || c.part2 == Some(i));
+                assert_eq!(c.user, p.user);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_user_keeps_survivor_sides() {
+        let (_, mut ps) = build_from(&[3, 5, 8]);
+        // scramble sides as a converged placement would
+        for i in 0..ps.parts().len() {
+            if i % 2 == 0 {
+                let s = ps.side(i).flipped();
+                ps.set_side(i, s);
+            }
+        }
+        let before: Vec<(usize, Vec<Side>)> = (0..3)
+            .map(|u| (u, ps.parts_of_user(u).iter().map(|&i| ps.side(i)).collect()))
+            .collect();
+        ps.remove_user(1);
+        for (u, sides) in before {
+            if u == 1 {
+                continue;
+            }
+            let nu = if u > 1 { u - 1 } else { u };
+            let now: Vec<Side> = ps.parts_of_user(nu).iter().map(|&i| ps.side(i)).collect();
+            assert_eq!(now, sides, "user {u} sides survived the removal");
+        }
+    }
+
+    #[test]
+    fn replace_user_matches_fresh_rebuild() {
+        let (fixtures, mut ps) = build_from(&[3, 5, 8]);
+        let (g, o, c) = user_fixture(42);
+        ps.replace_user(1, &g, &o, &c);
+        let mut fresh = PartSystem::new();
+        fresh.add_user(&fixtures[0].0, &fixtures[0].1, &fixtures[0].2);
+        fresh.add_user(&g, &o, &c);
+        fresh.add_user(&fixtures[2].0, &fixtures[2].1, &fixtures[2].2);
+        assert_eq!(observe(&ps), observe(&fresh));
+    }
+
+    #[test]
+    fn churn_sequence_stays_consistent() {
+        let (_, mut ps) = build_from(&[1, 2, 3, 4, 5]);
+        ps.remove_user(0);
+        let (g, o, c) = user_fixture(9);
+        ps.insert_user_at(2, &g, &o, &c);
+        ps.remove_user(4);
+        let mut fresh = PartSystem::new();
+        for s in [2u64, 3, 9, 4] {
+            let (g, o, c) = user_fixture(s);
+            fresh.add_user(&g, &o, &c);
+        }
+        assert_eq!(observe(&ps), observe(&fresh));
     }
 
     #[test]

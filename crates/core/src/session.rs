@@ -3,15 +3,21 @@
 //! The paper solves a static snapshot, but MEC crowds churn: users walk
 //! in and out of the cell. The per-user work — compression and
 //! minimum cuts — does not depend on who else is present, only the
-//! greedy placement does. [`OffloadSession`] exploits that: each user's
-//! graph is compressed and cut **once** at join time; every
-//! [`replan`](OffloadSession::replan) rebuilds only the cheap part
-//! bookkeeping and re-runs the greedy placement against the current
-//! crowd.
+//! greedy placement does. [`OffloadSession`] exploits that twice: each
+//! user's graph is compressed and cut **once** at join time, and under
+//! the default [`ReplanMode::Delta`] the converged part placement
+//! itself persists across replans — a churn event re-seats only the
+//! affected user's parts, and the next
+//! [`replan`](OffloadSession::replan) warm-starts the greedy search
+//! from the previous equilibrium instead of rebuilding the whole part
+//! system and searching from the initial split. When accumulated churn
+//! exceeds a configurable drift bound (or with [`ReplanMode::Full`]),
+//! the session falls back to the from-scratch path, which is
+//! bit-identical to the pre-delta behaviour.
 
 use crate::exec::{duration_sample, ExecCtx};
 use crate::frontend::{prepare_users, FrontEnd};
-use crate::greedy::{run_greedy_traced, GreedyMode};
+use crate::greedy::{run_greedy_traced, run_greedy_warm, GreedyMode};
 use crate::parts::PartSystem;
 use crate::strategy::{CutStrategy, StrategyKind};
 use crate::{OffloadReport, PipelineError, StageTimings};
@@ -22,6 +28,23 @@ use mec_model::SystemParams;
 use mec_obs::{span, FieldValue, TraceSink};
 use std::sync::Arc;
 
+/// How [`OffloadSession::replan`] treats the previous placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum ReplanMode {
+    /// Warm-start from the previously converged placement: only the
+    /// churned users' candidates are re-settled before a single rescan
+    /// confirms (or restores) equilibrium — `O(churn)` applied moves
+    /// in the steady state. Falls back to [`Full`](Self::Full)
+    /// behaviour when churn since the last replan exceeds the
+    /// session's drift limit (default).
+    #[default]
+    Delta,
+    /// Rebuild the part system and run the greedy search from the
+    /// initial split on every call — bit-identical to sessions before
+    /// delta replanning existed.
+    Full,
+}
+
 /// One user's cached pipeline front-end: the compression outcome,
 /// per-component cuts, and the wall-clock both took, computed at join
 /// time.
@@ -30,6 +53,18 @@ struct PreparedUser {
     name: String,
     graph: Arc<Graph>,
     frontend: FrontEnd,
+}
+
+/// The placement carried across replans in [`ReplanMode::Delta`].
+///
+/// Invariant: part-system user slot `i` is `OffloadSession::users[i]`
+/// at all times — joins append or replace in place, leaves remove
+/// order-preservingly — so delta plans and evaluations come out in the
+/// same user order the from-scratch path produces.
+struct DeltaState {
+    ps: PartSystem,
+    /// User slots churned since the last replan (unsorted, may repeat).
+    dirty: Vec<usize>,
 }
 
 /// A long-lived multi-user offloading session.
@@ -63,6 +98,14 @@ pub struct OffloadSession {
     /// The session-owned execution context: backend, sink, and (on the
     /// serial backend) the cut arena recycled across every admission.
     ctx: ExecCtx,
+    replan_mode: ReplanMode,
+    /// Fraction of the crowd allowed to churn between replans before a
+    /// delta replan discards the warm start and rebuilds from scratch.
+    drift_limit: f64,
+    /// Churn events (join, rejoin, leave) since the last replan.
+    churned: usize,
+    /// The persisted converged placement, once a delta replan has run.
+    delta: Option<DeltaState>,
 }
 
 impl OffloadSession {
@@ -91,7 +134,31 @@ impl OffloadSession {
             greedy_mode,
             users: Vec::new(),
             ctx: ExecCtx::serial(),
+            replan_mode: ReplanMode::default(),
+            drift_limit: 0.25,
+            churned: 0,
+            delta: None,
         }
+    }
+
+    /// Chooses how [`replan`](Self::replan) treats the previous
+    /// placement (default: [`ReplanMode::Delta`]). Switching modes
+    /// drops any persisted placement, so the next replan starts from
+    /// scratch either way.
+    pub fn with_replan_mode(mut self, mode: ReplanMode) -> Self {
+        self.replan_mode = mode;
+        self.delta = None;
+        self
+    }
+
+    /// Sets the delta-replan drift bound: once more than
+    /// `limit × crowd` churn events accumulate between replans, the
+    /// warm start is discarded and the placement is rebuilt from
+    /// scratch. `0.0` forces a full rebuild after *any* churn (the
+    /// exact-parity configuration); the default is `0.25`.
+    pub fn with_drift_limit(mut self, limit: f64) -> Self {
+        self.drift_limit = limit.max(0.0);
+        self
     }
 
     /// Switches the session's execution context onto `cluster`: every
@@ -258,11 +325,55 @@ impl OffloadSession {
     }
 
     /// Inserts or replaces a prepared user (same-name join replaces
-    /// the previous workload).
+    /// the previous workload), keeping any persisted placement
+    /// slot-aligned: a rejoin re-seats the slot's parts in place, a
+    /// fresh join appends, and either way the slot is marked dirty for
+    /// the next warm-started replan.
     fn insert(&mut self, prepared: PreparedUser) {
-        match self.users.iter_mut().find(|u| u.name == prepared.name) {
-            Some(slot) => *slot = prepared,
-            None => self.users.push(prepared),
+        self.churned += 1;
+        match self.users.iter().position(|u| u.name == prepared.name) {
+            Some(i) => {
+                if let Some(delta) = self.delta.as_mut() {
+                    delta.ps.replace_user(
+                        i,
+                        &prepared.graph,
+                        &prepared.frontend.outcome,
+                        &prepared.frontend.cuts,
+                    );
+                    delta.dirty.push(i);
+                }
+                self.users[i] = prepared;
+            }
+            None => {
+                if let Some(delta) = self.delta.as_mut() {
+                    delta.ps.add_user(
+                        &prepared.graph,
+                        &prepared.frontend.outcome,
+                        &prepared.frontend.cuts,
+                    );
+                    delta.dirty.push(self.users.len());
+                }
+                self.users.push(prepared);
+            }
+        }
+    }
+
+    /// Removes the user at slot `i`, shifting later slots down and
+    /// keeping any persisted placement (and its dirty set) aligned.
+    fn remove_at(&mut self, i: usize) {
+        self.users.remove(i);
+        self.churned += 1;
+        if let Some(delta) = self.delta.as_mut() {
+            delta.ps.remove_user(i);
+            delta.dirty.retain_mut(|d| {
+                if *d == i {
+                    return false;
+                }
+                if *d > i {
+                    *d -= 1;
+                }
+                true
+            });
         }
     }
 
@@ -272,22 +383,66 @@ impl OffloadSession {
     /// full telemetry epilogue (span, `session.leave_nanos` histogram,
     /// flush), so buffered churn records become visible immediately.
     pub fn leave(&mut self, name: &str) -> bool {
-        let before = self.users.len();
-        self.users.retain(|u| u.name != name);
-        let left = self.users.len() != before;
-        if left {
-            let scope = self.ctx.scope("session.leave", "session.leave_nanos");
-            let sink = self.ctx.sink();
-            sink.counter_add("session.leaves", 1);
-            if sink.enabled() {
-                sink.event(
-                    "session.leave",
-                    &[("users", FieldValue::from(self.users.len()))],
-                );
-            }
-            scope.finish();
+        let Some(i) = self.users.iter().position(|u| u.name == name) else {
+            return false;
+        };
+        let scope = self.ctx.scope("session.leave", "session.leave_nanos");
+        self.remove_at(i);
+        let sink = self.ctx.sink();
+        sink.counter_add("session.leaves", 1);
+        if sink.enabled() {
+            sink.event(
+                "session.leave",
+                &[("users", FieldValue::from(self.users.len()))],
+            );
         }
-        left
+        scope.finish();
+        true
+    }
+
+    /// Removes a batch of users under **one** telemetry scope —
+    /// a single `session.leave_many` span, one
+    /// `session.leave_many_nanos` sample, and one flush for the whole
+    /// batch — so mass churn does not pay a per-user telemetry
+    /// epilogue. Unknown names are skipped. Returns how many users
+    /// actually left; when none did, no scope is opened at all.
+    pub fn leave_many<I, S>(&mut self, names: I) -> usize
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut slots: Vec<usize> = names
+            .into_iter()
+            .filter_map(|name| {
+                let name = name.as_ref();
+                self.users.iter().position(|u| u.name == name)
+            })
+            .collect();
+        // descending removal order keeps the remaining slots valid
+        slots.sort_unstable_by(|a, b| b.cmp(a));
+        slots.dedup();
+        if slots.is_empty() {
+            return 0;
+        }
+        let scope = self
+            .ctx
+            .scope("session.leave_many", "session.leave_many_nanos");
+        for &i in &slots {
+            self.remove_at(i);
+        }
+        let sink = self.ctx.sink();
+        sink.counter_add("session.leaves", slots.len() as u64);
+        if sink.enabled() {
+            sink.event(
+                "session.leave_many",
+                &[
+                    ("left", FieldValue::from(slots.len())),
+                    ("users", FieldValue::from(self.users.len())),
+                ],
+            );
+        }
+        scope.finish();
+        slots.len()
     }
 
     /// Re-runs the placement for the current crowd using the cached
@@ -304,12 +459,27 @@ impl OffloadSession {
     ///
     /// [`PipelineError::Model`] if the session's system parameters are
     /// invalid.
-    pub fn replan(&self) -> Result<OffloadReport, PipelineError> {
+    pub fn replan(&mut self) -> Result<OffloadReport, PipelineError> {
         // the replan-end-to-end distribution is the ROADMAP's SLO
         // metric: p99 over session.replan_nanos is what a streaming
         // service would alert on — the scope records it (and flushes)
         // on every exit, error returns included
         let scope = self.ctx.scope("session.replan", "session.replan_nanos");
+        let report = match self.replan_mode {
+            ReplanMode::Full => self.replan_full()?,
+            ReplanMode::Delta => self.replan_delta()?,
+        };
+        let sink = self.ctx.sink();
+        sink.counter_add("session.replans", 1);
+        scope.finish();
+        Ok(report)
+    }
+
+    /// The from-scratch path: rebuild the part system for the whole
+    /// crowd and run the greedy search from the initial split. This is
+    /// exactly the pre-delta replan body, and the delta path's drift
+    /// fallback must stay bit-identical to it.
+    fn replan_full(&self) -> Result<OffloadReport, PipelineError> {
         let sink = self.ctx.sink().as_ref();
         let mut timings = StageTimings::default();
         let mut parts = PartSystem::new();
@@ -333,8 +503,73 @@ impl OffloadSession {
             self.users.iter().map(|u| u.graph.as_ref()),
             &plan,
         )?;
-        sink.counter_add("session.replans", 1);
-        scope.finish();
+        Ok(OffloadReport {
+            plan,
+            evaluation,
+            compression: compression_stats,
+            greedy,
+            timings,
+            strategy: self.strategy.name(),
+        })
+    }
+
+    /// The warm-started path: persist the converged placement across
+    /// calls and re-settle only the churned slots, falling back to a
+    /// from-scratch rebuild on the first call and whenever accumulated
+    /// churn exceeds `drift_limit × crowd`.
+    ///
+    /// Only the *placement* persists; the greedy objective bookkeeping
+    /// is re-derived from it in `O(crowd)` at warm entry, so repeated
+    /// delta replans cannot accumulate floating-point drift relative
+    /// to the from-scratch path.
+    fn replan_delta(&mut self) -> Result<OffloadReport, PipelineError> {
+        let crowd = self.users.len();
+        let drift_cap = (self.drift_limit * crowd.max(1) as f64).floor() as usize;
+        let stale = self.delta.is_none() || self.churned > drift_cap;
+
+        let sink = self.ctx.sink().as_ref();
+        let mut timings = StageTimings::default();
+        let mut compression_stats = Vec::with_capacity(crowd);
+        for u in &self.users {
+            timings.compression += u.frontend.compression;
+            timings.cutting += u.frontend.cutting;
+            compression_stats.push(u.frontend.outcome.stats);
+        }
+
+        let greedy;
+        if stale {
+            sink.counter_add("session.replans_full", 1);
+            let mut parts = PartSystem::new();
+            for u in &self.users {
+                parts.add_user(&u.graph, &u.frontend.outcome, &u.frontend.cuts);
+            }
+            let s = span(sink, "stage.greedy");
+            greedy = run_greedy_traced(&mut parts, &self.params, self.greedy_mode, sink);
+            timings.greedy = s.finish();
+            self.delta = Some(DeltaState {
+                ps: parts,
+                dirty: Vec::new(),
+            });
+        } else {
+            sink.counter_add("session.replans_delta", 1);
+            let delta = self.delta.as_mut().expect("delta checked above");
+            let mut dirty = std::mem::take(&mut delta.dirty);
+            dirty.sort_unstable();
+            dirty.dedup();
+            let s = span(sink, "stage.greedy");
+            greedy = run_greedy_warm(&mut delta.ps, &self.params, self.greedy_mode, sink, &dirty);
+            timings.greedy = s.finish();
+        }
+        self.churned = 0;
+        sink.histogram_record("stage.greedy_nanos", duration_sample(timings.greedy));
+
+        let delta = self.delta.as_ref().expect("delta set above");
+        let plan = delta.ps.plan();
+        let evaluation = mec_model::evaluate_plan_for(
+            &self.params,
+            self.users.iter().map(|u| u.graph.as_ref()),
+            &plan,
+        )?;
         Ok(OffloadReport {
             plan,
             evaluation,
@@ -492,6 +727,59 @@ mod tests {
         assert_eq!(session.user_count(), 2);
         let report = session.replan().unwrap();
         assert_eq!(report.plan[0].len(), big.node_count());
+    }
+
+    #[test]
+    fn leave_many_matches_repeated_leaves() {
+        let mut batched = OffloadSession::new(SystemParams::default());
+        let mut serial = OffloadSession::new(SystemParams::default());
+        for i in 0..5u64 {
+            batched.join(format!("u{i}"), graph(30 + i)).unwrap();
+            serial.join(format!("u{i}"), graph(30 + i)).unwrap();
+        }
+        // converge both so the batch departure exercises the persisted
+        // placement's order-preserving removal
+        batched.replan().unwrap();
+        serial.replan().unwrap();
+        // unknown names and duplicates are skipped, not counted
+        assert_eq!(batched.leave_many(["u1", "u3", "u1", "ghost"]), 2);
+        assert!(serial.leave("u1"));
+        assert!(serial.leave("u3"));
+        assert_eq!(batched.user_count(), 3);
+        assert_eq!(
+            batched.replan().unwrap().plan,
+            serial.replan().unwrap().plan
+        );
+        assert_eq!(batched.leave_many(Vec::<String>::new()), 0);
+    }
+
+    #[test]
+    fn full_mode_is_identical_to_delta_results() {
+        let mut delta = OffloadSession::new(SystemParams::default());
+        let mut full =
+            OffloadSession::new(SystemParams::default()).with_replan_mode(ReplanMode::Full);
+        for i in 0..6u64 {
+            delta.join(format!("u{i}"), graph(40 + i)).unwrap();
+            full.join(format!("u{i}"), graph(40 + i)).unwrap();
+        }
+        // first delta replan has no warm state: bit-identical to full
+        let d = delta.replan().unwrap();
+        let f = full.replan().unwrap();
+        assert_eq!(d.plan, f.plan);
+        assert_eq!(
+            d.evaluation.totals.objective(),
+            f.evaluation.totals.objective()
+        );
+        // a zero drift limit forces the from-scratch fallback after any
+        // churn, so the delta session keeps exact parity with full mode
+        let mut strict = OffloadSession::new(SystemParams::default()).with_drift_limit(0.0);
+        for i in 0..6u64 {
+            strict.join(format!("u{i}"), graph(40 + i)).unwrap();
+        }
+        strict.replan().unwrap();
+        strict.leave("u2");
+        full.leave("u2");
+        assert_eq!(strict.replan().unwrap().plan, full.replan().unwrap().plan);
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "event", "users", "E+T", "offloaded%", "replan (ms)"
     );
 
-    let report_line = |event: &str, session: &OffloadSession| {
+    let report_line = |event: &str, session: &mut OffloadSession| {
         let t0 = Instant::now();
         let report = session.replan().expect("replan succeeds");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let g = Arc::new(app.seed(500 + i).build().extract().graph);
         session.join(format!("phone-{i}"), g)?;
         if i % 4 == 3 {
-            report_line(&format!("{} phones joined", i + 1), &session);
+            report_line(&format!("{} phones joined", i + 1), &mut session);
         }
     }
 
@@ -69,13 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .graph,
     );
     session.join("phone-0", upgraded)?;
-    report_line("phone-0 upgraded app", &session);
+    report_line("phone-0 upgraded app", &mut session);
 
     // evening: half the crowd leaves
     for i in (0..12u64).filter(|i| i % 2 == 0) {
         session.leave(&format!("phone-{i}"));
     }
-    report_line("even phones left", &session);
+    report_line("even phones left", &mut session);
 
     println!("\nper-user cost of the final plan:");
     let final_report = session.replan()?;

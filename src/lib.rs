@@ -68,8 +68,8 @@ pub use mec_spectral as spectral;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use copmecs_core::{
-        force_serial, CutStrategy, ExecBackend, ExecCtx, GreedyMode, OffloadReport, OffloadSession,
-        Offloader, StrategyKind,
+        force_serial, CutStrategy, ExecBackend, ExecCtx, GreedyMode, OffloadReport, OffloadService,
+        OffloadSession, Offloader, ReplanMode, ServiceReport, StrategyKind,
     };
     pub use mec_app::{ApplicationBuilder, FunctionKind, SyntheticAppSpec};
     pub use mec_graph::{Bipartition, Graph, GraphBuilder, NodeId, Side};
